@@ -1,0 +1,46 @@
+"""Ablation: validity of the profiler's sampling shortcut.
+
+The memory hierarchy is simulated under a contraction factor (capacities
+and working sets shrink together; see repro.uarch.sampling).  This
+ablation sweeps the factor and checks the reported metrics are stable --
+the property that justifies the speedup.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core import registry
+from repro.core.report import render_table
+from repro.uarch import PerfContext, XEON_E5645
+
+FACTORS = (4, 8, 16)
+
+
+def _profile(name: str, contraction: int):
+    workload = registry.create(name)
+    prepared = workload.prepare(1)
+    ctx = PerfContext(XEON_E5645, contraction=contraction, seed=0)
+    workload.run(prepared, ctx=ctx)
+    return ctx.finalize().events
+
+
+def test_contraction_stability(benchmark):
+    def build():
+        rows = []
+        for name in ("WordCount", "Grep"):
+            for metric in ("l1i_mpki", "l2_mpki", "dtlb_mpki"):
+                values = [getattr(_profile(name, f), metric) for f in FACTORS]
+                rows.append([name, metric] + values)
+        return rows
+
+    rows = benchmark.pedantic(build, iterations=1, rounds=1)
+    emit(render_table(
+        ["Workload", "Metric"] + [f"1/{f}" for f in FACTORS], rows,
+        title="Ablation: metric stability vs contraction factor",
+    ))
+    for row in rows:
+        values = row[2:]
+        center = sorted(values)[len(values) // 2]
+        for value in values:
+            # Within 2x of the median across a 4x contraction range.
+            assert 0.5 * center <= value <= 2.0 * center, row

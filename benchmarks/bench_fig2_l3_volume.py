@@ -1,0 +1,22 @@
+"""Regenerate Figure 2: L3 cache MPKI under small (baseline) and large
+(32x) inputs for every workload (paper Section 6.2)."""
+
+from benchmarks.conftest import emit
+from repro.analysis import figure2
+
+
+def test_fig2_l3_by_input_size(benchmark, harness):
+    fig = benchmark.pedantic(lambda: figure2(harness), iterations=1, rounds=1)
+    emit(fig.render())
+
+    large = dict(zip(fig.column("Workload"), fig.column("Large Input")))
+    small = dict(zip(fig.column("Workload"), fig.column("Small Input")))
+    # K-means shows the paper's largest small-vs-large gap (0.8 -> 2.0).
+    assert large["K-means"] > 1.3 * small["K-means"]
+    # Some workloads move up, some barely move: the sweep is not uniform.
+    gaps = {
+        name: large[name] / max(small[name], 1e-9)
+        for name in large if not name.startswith("Avg_")
+    }
+    assert max(gaps.values()) > 1.3
+    assert any(0.75 < g < 1.25 for g in gaps.values()), gaps

@@ -1,0 +1,35 @@
+"""Regenerate Figure 3: MIPS and normalized user-perceivable performance
+across the 1x..32x data sweep (paper Section 6.2)."""
+
+from benchmarks.conftest import emit
+from repro.analysis import figure3_mips, figure3_speedup
+
+
+def test_fig3_1_mips(benchmark, harness):
+    fig = benchmark.pedantic(lambda: figure3_mips(harness),
+                             iterations=1, rounds=1)
+    emit(fig.render())
+
+    rows = {row[0]: row[1:] for row in fig.rows}
+    # Grep's MIPS grows substantially from baseline to 32x (paper: 2.9x).
+    grep = rows["Grep"]
+    assert grep[-1] > 1.4 * grep[0]
+    # Not every workload trends the same way (the paper's main lesson).
+    trends = {name: series[-1] / series[0] for name, series in rows.items()}
+    assert min(trends.values()) < 0.9 < 1.2 < max(trends.values())
+
+
+def test_fig3_2_speedup(benchmark, harness):
+    fig = benchmark.pedantic(lambda: figure3_speedup(harness),
+                             iterations=1, rounds=1)
+    emit(fig.render())
+
+    rows = {row[0]: row[1:] for row in fig.rows}
+    # Every series is normalized to 1.0 at the baseline.
+    for name, series in rows.items():
+        assert abs(series[0] - 1.0) < 1e-9, name
+    # Sort degrades with scale: I/O, spill, and shuffle congestion
+    # (the paper's explicit explanation of Figure 3-2).
+    assert rows["Sort"][-1] < 0.85
+    # Service workloads scale with offered load until saturation.
+    assert rows["Nutch Server"][-1] > 4.0

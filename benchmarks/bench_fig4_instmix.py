@@ -1,0 +1,23 @@
+"""Regenerate Figure 4: instruction breakdown of the 19 workloads plus
+the traditional-suite averages (paper Section 6.3.1)."""
+
+from benchmarks.conftest import emit
+from repro.analysis import figure4
+
+
+def test_fig4_instruction_breakdown(benchmark, harness):
+    fig = benchmark.pedantic(lambda: figure4(harness), iterations=1, rounds=1)
+    emit(fig.render())
+
+    ratios = {row[0]: row[-1] for row in fig.rows}
+    # The paper's headline ratio facts: Grep max, Bayes-class min ~10,
+    # big data two orders above the FP suites, SPECINT the exception.
+    workload_only = {k: v for k, v in ratios.items() if not k.startswith("Avg_")}
+    assert max(workload_only, key=workload_only.get) == "Grep"
+    assert min(workload_only.values()) < 20
+    assert ratios["Avg_BigData"] > 40 * ratios["Avg_HPCC"]
+    assert ratios["Avg_SPECINT"] > ratios["Avg_BigData"]
+    # FP share is marginal for big data (Figure 4's invisible FP slivers).
+    fp_share = dict(zip(fig.column("Workload"), fig.column("FP")))
+    assert fp_share["Avg_BigData"] < 0.02
+    assert fp_share["Avg_HPCC"] > 0.3

@@ -1,0 +1,37 @@
+"""Regenerate Figure 5: FP and integer operation intensity on the
+Xeon E5310 and Xeon E5645 (paper Section 6.3.1)."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis import figure5
+
+
+@pytest.fixture(scope="module")
+def fig5(harness, harness_e5310):
+    return figure5(harness, harness_e5310)
+
+
+def test_fig5_1_fp_intensity(benchmark, fig5):
+    fig = benchmark.pedantic(lambda: fig5[0], iterations=1, rounds=1)
+    emit(fig.render())
+
+    values = {row[0]: (row[1], row[2]) for row in fig.rows}
+    # C1: big data FP intensity orders below the FP-heavy suites.
+    assert values["Avg_HPCC"][1] > 20 * values["Avg_BigData"][1]
+    assert values["Avg_PARSEC"][1] > 10 * values["Avg_BigData"][1]
+    # C5: the E5645's L3 lifts intensity over the E5310.
+    assert values["Avg_BigData"][1] > values["Avg_BigData"][0]
+    assert values["Avg_HPCC"][1] > values["Avg_HPCC"][0]
+
+
+def test_fig5_2_int_intensity(benchmark, fig5):
+    fig = benchmark.pedantic(lambda: fig5[1], iterations=1, rounds=1)
+    emit(fig.render())
+
+    values = {row[0]: (row[1], row[2]) for row in fig.rows}
+    # Integer intensity of big data stays within the same order of
+    # magnitude as the traditional suites.
+    for suite in ("Avg_HPCC", "Avg_PARSEC", "Avg_SPECINT"):
+        ratio = values["Avg_BigData"][1] / values[suite][1]
+        assert 0.1 < ratio < 10, (suite, ratio)

@@ -1,0 +1,39 @@
+"""Regenerate Figure 6: memory-hierarchy behavior of the suite versus
+the traditional benchmarks (paper Section 6.3.2)."""
+
+from benchmarks.conftest import emit
+from repro.analysis import figure6_cache, figure6_tlb
+
+TRADITIONAL = ("Avg_HPCC", "Avg_PARSEC", "Avg_SPECFP", "Avg_SPECINT")
+
+
+def test_fig6_1_cache_behaviors(benchmark, harness):
+    fig = benchmark.pedantic(lambda: figure6_cache(harness),
+                             iterations=1, rounds=1)
+    emit(fig.render())
+
+    l1i = dict(zip(fig.column("Workload"), fig.column("L1I MPKI")))
+    l2 = dict(zip(fig.column("Workload"), fig.column("L2 MPKI")))
+    l3 = dict(zip(fig.column("Workload"), fig.column("L3 MPKI")))
+    for suite in TRADITIONAL:
+        assert l1i["Avg_BigData"] > 4 * l1i[suite], suite       # C3 L1I
+        assert l2["Avg_BigData"] > l2[suite], suite             # C3 L2
+    for suite in ("Avg_HPCC", "Avg_PARSEC", "Avg_SPECINT"):
+        assert l3["Avg_BigData"] < l3[suite], suite             # C3 L3
+    assert l2["Nutch Server"] < l2["Olio Server"] / 3           # Nutch exception
+
+
+def test_fig6_2_tlb_behaviors(benchmark, harness):
+    fig = benchmark.pedantic(lambda: figure6_tlb(harness),
+                             iterations=1, rounds=1)
+    emit(fig.render())
+
+    dtlb = dict(zip(fig.column("Workload"), fig.column("DTLB MPKI")))
+    itlb = dict(zip(fig.column("Workload"), fig.column("ITLB MPKI")))
+    for suite in TRADITIONAL:
+        assert itlb["Avg_BigData"] > 2 * itlb[suite], suite     # C4 ITLB
+        assert dtlb["Avg_BigData"] > dtlb[suite], suite         # C4 DTLB
+    # DTLB diversity: BFS the maximum, Nutch near the floor (paper 14/0.2).
+    workload_dtlb = {k: v for k, v in dtlb.items() if not k.startswith("Avg_")}
+    assert max(workload_dtlb, key=workload_dtlb.get) == "BFS"
+    assert workload_dtlb["Nutch Server"] < 0.3

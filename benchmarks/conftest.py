@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark harness.
+
+Harnesses are session-scoped so the figure benches share memoized runs
+(Figure 2's scale-32 points feed Figure 3's sweep, the scale-1 suite
+feeds Figures 4-6).
+"""
+
+import pytest
+
+from repro.core.harness import Harness
+from repro.uarch import XEON_E5310, XEON_E5645
+
+
+@pytest.fixture(scope="session")
+def harness():
+    """The default testbed: Xeon E5645, 14-node cluster."""
+    return Harness(machine=XEON_E5645)
+
+
+@pytest.fixture(scope="session")
+def harness_e5310(request):
+    """The two-cache-level comparison machine."""
+    return Harness(machine=XEON_E5310)
+
+
+def emit(benchmark_output: str) -> None:
+    """Print a regenerated table/figure under the bench output."""
+    print()
+    print(benchmark_output)

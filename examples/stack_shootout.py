@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Stack shootout: Hadoop MapReduce vs Spark vs MPI on one algorithm.
+
+The paper includes three analytics stacks and plans the MapReduce-vs-MPI
+comparison as future work; this example runs it.  PageRank is the
+showcase: iterative, so Spark's in-memory caching and MPI's lean native
+runtime both beat per-job Hadoop -- in different ways.
+
+    python examples/stack_shootout.py [workload]
+"""
+
+import sys
+
+from repro.core.harness import Harness
+from repro.core.report import render_table
+
+STACKS = ("hadoop", "spark", "mpi")
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "PageRank"
+    harness = Harness()
+
+    rows = []
+    for stack in STACKS:
+        outcome = harness.characterize(workload, stack=stack)
+        events = outcome.events
+        rows.append([
+            stack,
+            f"{events.instructions:.2e}",
+            events.l1i_mpki,
+            events.itlb_mpki,
+            f"{outcome.modeled_seconds:.0f} s",
+            f"{outcome.result.metric_value / 2**20:.1f} MB/s",
+        ])
+    print(render_table(
+        ["Stack", "Instructions", "L1I MPKI", "ITLB MPKI",
+         "Modeled time", "DPS"],
+        rows, title=f"{workload}: one algorithm, three software stacks",
+    ))
+    print()
+    print("Reading: the JVM framework stack executes an order of magnitude")
+    print("more instructions per record and misses the instruction cache")
+    print("an order of magnitude more often than native MPI -- the deep-")
+    print("software-stack effect the paper holds responsible for the high")
+    print("front-end stalls of big data workloads (Section 6.3.2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Export regenerated tables/figures as CSV for external plotting.
+
+The paper's figures are bar/line charts; downstream users typically want
+the raw series.  ``export_figure`` writes one CSV per
+:class:`~repro.analysis.figures.FigureData`; ``export_all`` regenerates
+and dumps the whole evaluation into a directory.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+
+from repro.analysis.figures import FigureData
+from repro.analysis.tables import ALL_TABLES
+
+
+def export_figure(figure: FigureData, path: str) -> str:
+    """Write one figure's rows as CSV; returns the path."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(figure.headers)
+        writer.writerows(figure.rows)
+    return path
+
+
+def export_table(name: str, path: str) -> str:
+    """Write one paper table (by its 'Table N' name) as CSV."""
+    headers, rows = ALL_TABLES[name]()
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    return path
+
+
+def export_all(harness, directory: str, include_sweeps: bool = False) -> list:
+    """Regenerate the evaluation and write every CSV under ``directory``.
+
+    ``include_sweeps`` adds the expensive Figure 2/3 data sweeps.
+    """
+    from repro.analysis.figures import (
+        figure2,
+        figure3_mips,
+        figure3_speedup,
+        figure4,
+        figure6_cache,
+        figure6_tlb,
+    )
+
+    written = []
+    for name in ALL_TABLES:
+        slug = name.lower().replace(" ", "")
+        written.append(export_table(name, os.path.join(directory, f"{slug}.csv")))
+    figures = [
+        ("figure4", figure4(harness)),
+        ("figure6_cache", figure6_cache(harness)),
+        ("figure6_tlb", figure6_tlb(harness)),
+    ]
+    if include_sweeps:
+        figures += [
+            ("figure2", figure2(harness)),
+            ("figure3_mips", figure3_mips(harness)),
+            ("figure3_speedup", figure3_speedup(harness)),
+        ]
+    for slug, figure in figures:
+        written.append(export_figure(
+            figure, os.path.join(directory, f"{slug}.csv")
+        ))
+    return written

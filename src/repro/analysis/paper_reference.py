@@ -1,0 +1,66 @@
+"""Reference numbers quoted from the paper's text (Sections 1, 6.2, 6.3).
+
+Only values the paper states explicitly are recorded; figure bars the
+paper does not annotate are compared qualitatively in EXPERIMENTS.md.
+"""
+
+#: Section 6.3.1 / Figure 4: ratio of integer to FP instructions.
+INT_FP_RATIO = {
+    "Avg_BigData": 75.0,
+    "Grep": 179.0,          # suite maximum
+    "Naive Bayes": 10.0,    # suite minimum ("Bayes")
+    "Avg_PARSEC": 1.4,
+    "Avg_HPCC": 1.0,
+    "Avg_SPECFP": 0.67,
+    "Avg_SPECINT": 409.0,
+}
+
+#: Section 6.3.1 / Figure 5-1: FP operation intensity.
+FP_INTENSITY = {
+    "E5310": {"Avg_BigData": 0.007, "Avg_PARSEC": 1.1, "Avg_HPCC": 0.37,
+              "Avg_SPECFP": 0.34},
+    "E5645": {"Avg_BigData": 0.05, "Avg_PARSEC": 1.2, "Avg_HPCC": 3.3,
+              "Avg_SPECFP": 1.4},
+}
+
+#: Section 6.3.1 / Figure 5-2: integer operation intensity.
+INT_INTENSITY = {
+    "E5310": {"Avg_BigData": 0.5, "Avg_PARSEC": 1.5, "Avg_HPCC": 0.38,
+              "Avg_SPECFP": 0.23, "Avg_SPECINT": 0.46},
+    "E5645": {"Avg_BigData": 1.8, "Avg_PARSEC": 1.4, "Avg_HPCC": 1.1,
+              "Avg_SPECFP": 0.2, "Avg_SPECINT": 2.4},
+}
+
+#: Section 6.3.2 / Figure 6-1: cache MPKI averages (plus named outliers).
+L1I_MPKI = {
+    "Avg_BigData": 23.0, "Avg_HPCC": 0.3, "Avg_PARSEC": 2.9,
+    "Avg_SPECFP": 3.1, "Avg_SPECINT": 5.4,
+}
+L2_MPKI = {
+    "Avg_BigData": 21.0, "Avg_HPCC": 4.8, "Avg_PARSEC": 5.1,
+    "Avg_SPECFP": 14.0, "Avg_SPECINT": 16.0,
+    "online_services_avg": 40.0, "Nutch Server": 4.1,
+    "analytics_avg": 13.0, "BFS": 56.0,
+}
+L3_MPKI = {
+    "Avg_BigData": 1.5, "Avg_HPCC": 2.4, "Avg_PARSEC": 2.3,
+    "Avg_SPECFP": 1.4, "Avg_SPECINT": 1.9,
+    "K-means small": 0.8, "K-means large": 2.0,
+}
+
+#: Section 6.3.2 / Figure 6-2: TLB MPKI averages (plus named extremes).
+ITLB_MPKI = {
+    "Avg_BigData": 0.54, "Avg_HPCC": 0.006, "Avg_PARSEC": 0.005,
+    "Avg_SPECFP": 0.06, "Avg_SPECINT": 0.08,
+}
+DTLB_MPKI = {
+    "Avg_BigData": 2.5, "Avg_HPCC": 1.2, "Avg_PARSEC": 0.7,
+    "Avg_SPECFP": 2.0, "Avg_SPECINT": 2.1,
+    "Nutch Server": 0.2, "BFS": 14.0,
+}
+
+#: Section 6.2 / Figures 2-3: volume-impact statements.
+VOLUME = {
+    "Grep MIPS 32x/baseline": 2.9,
+    "K-means L3 large/small": 2.5,
+}

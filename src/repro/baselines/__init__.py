@@ -1,0 +1,45 @@
+"""Traditional benchmark baselines: HPCC, PARSEC, SPECINT, SPECFP.
+
+Reimplemented kernels instrumented with the same profiling API as the
+big data engines, so every comparison figure (4, 5, 6) measures both
+worlds under one model.
+"""
+
+from repro.baselines.hpcc import HPCC_KERNELS, hpcc_suite
+from repro.baselines.kernels import (
+    BaselineKernel,
+    run_kernel,
+    run_suite,
+    suite_average,
+)
+from repro.baselines.parsec import PARSEC_KERNELS, parsec_suite
+from repro.baselines.spec import (
+    SPECFP_KERNELS,
+    SPECINT_KERNELS,
+    specfp_suite,
+    specint_suite,
+)
+
+#: Suite name -> factory, in the order the paper's figures list them.
+TRADITIONAL_SUITES = {
+    "HPCC": hpcc_suite,
+    "PARSEC": parsec_suite,
+    "SPECFP": specfp_suite,
+    "SPECINT": specint_suite,
+}
+
+__all__ = [
+    "BaselineKernel",
+    "HPCC_KERNELS",
+    "PARSEC_KERNELS",
+    "SPECFP_KERNELS",
+    "SPECINT_KERNELS",
+    "TRADITIONAL_SUITES",
+    "hpcc_suite",
+    "parsec_suite",
+    "run_kernel",
+    "run_suite",
+    "specfp_suite",
+    "specint_suite",
+    "suite_average",
+]

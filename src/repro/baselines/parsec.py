@@ -1,0 +1,282 @@
+"""PARSEC 3.0 kernels: the twelve multithreaded programs (native inputs).
+
+Each kernel reproduces the computational heart and access pattern of its
+namesake: mixed FP/integer work, moderate working sets, richer code than
+HPCC but far shallower than a JVM stack (paper: PARSEC L1I MPKI ~2.9,
+FP intensity ~1.2 on the E5645).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.kernels import BaselineKernel, MB
+from repro.uarch.codemodel import PARSEC_KERNEL
+
+WORK_SCALE = 64
+
+
+class _ParsecKernel(BaselineKernel):
+    suite = "PARSEC"
+    code_profile = PARSEC_KERNEL
+
+
+class Blackscholes(_ParsecKernel):
+    """Option pricing: pure FP formula evaluation over a portfolio."""
+
+    name = "blackscholes"
+
+    def execute(self, ctx) -> dict:
+        rng = np.random.default_rng(10)
+        n = 200_000
+        s = rng.uniform(20, 120, n)
+        k = rng.uniform(20, 120, n)
+        t = rng.uniform(0.1, 2.0, n)
+        sigma, r = 0.3, 0.02
+        d1 = (np.log(s / k) + (r + sigma ** 2 / 2) * t) / (sigma * np.sqrt(t))
+        price = s * _phi(d1) - k * np.exp(-r * t) * _phi(d1 - sigma * np.sqrt(t))
+        work = n * WORK_SCALE
+        ctx.touch("bs:portfolio", work * 40)
+        ctx.fp_ops(110.0 * work)
+        ctx.int_ops(24.0 * work)
+        ctx.branch_ops(4.0 * work)
+        ctx.seq_read("bs:portfolio", work * 40, elem=40)
+        return {"mean_price": float(price.mean())}
+
+
+class Bodytrack(_ParsecKernel):
+    """Particle-filter pose tracking: FP likelihoods + image reads."""
+
+    name = "bodytrack"
+
+    def execute(self, ctx) -> dict:
+        rng = np.random.default_rng(11)
+        particles = rng.random((4000, 8))
+        weights = np.exp(-((particles - 0.5) ** 2).sum(axis=1))
+        work = len(particles) * WORK_SCALE * 30
+        ctx.touch("bt:frames", 48 * MB)
+        ctx.fp_ops(60.0 * work)
+        ctx.int_ops(40.0 * work)
+        ctx.branch_ops(8.0 * work)
+        ctx.seq_read("bt:frames", work * 1.5, elem=8)
+        ctx.skewed_read("bt:frames", 3.0 * work, hot_fraction=0.02, hot_prob=0.8)
+        return {"weight_sum": float(weights.sum())}
+
+
+class Canneal(_ParsecKernel):
+    """Simulated annealing of a netlist: pointer-chasing, int heavy."""
+
+    name = "canneal"
+
+    def execute(self, ctx) -> dict:
+        rng = np.random.default_rng(12)
+        positions = rng.random((20_000, 2))
+        a = rng.integers(0, len(positions), 40_000)
+        b = rng.integers(0, len(positions), 40_000)
+        cost = float(np.abs(positions[a] - positions[b]).sum())
+        work = len(a) * WORK_SCALE * 8
+        ctx.touch("canneal:netlist", 8 * MB)
+        ctx.int_ops(55.0 * work)
+        ctx.fp_ops(9.0 * work)
+        ctx.branch_ops(14.0 * work)
+        ctx.skewed_read("canneal:netlist", 2.2 * work,
+                        hot_fraction=0.12, hot_prob=0.75)
+        ctx.rand_write("canneal:netlist", 0.08 * work)
+        return {"initial_cost": cost}
+
+
+class Dedup(_ParsecKernel):
+    """Pipelined deduplication: chunking + hashing (integer streams)."""
+
+    name = "dedup"
+
+    def execute(self, ctx) -> dict:
+        rng = np.random.default_rng(13)
+        data = rng.integers(0, 256, 500_000, dtype=np.uint8)
+        chunks = np.split(data, range(4096, len(data), 4096))
+        digests = {bytes(c[:8].tobytes()) for c in chunks}
+        nbytes = len(data) * WORK_SCALE
+        ctx.touch("dedup:hashtable", 8 * MB)
+        ctx.int_ops(9.0 * nbytes)
+        ctx.branch_ops(1.2 * nbytes)
+        ctx.seq_read("dedup:input", nbytes, elem=64)
+        ctx.skewed_read("dedup:hashtable", nbytes / 2048,
+                        hot_fraction=0.01, hot_prob=0.6)
+        return {"unique_chunks": len(digests)}
+
+
+class Facesim(_ParsecKernel):
+    """Finite-element face simulation: sparse FP solves."""
+
+    name = "facesim"
+
+    def execute(self, ctx) -> dict:
+        rng = np.random.default_rng(14)
+        nodes = rng.random((30_000, 3))
+        forces = np.roll(nodes, 1, axis=0) - nodes
+        work = len(nodes) * WORK_SCALE * 20
+        ctx.touch("facesim:mesh", 48 * MB)
+        ctx.fp_ops(75.0 * work)
+        ctx.int_ops(30.0 * work)
+        ctx.branch_ops(5.0 * work)
+        ctx.stride_read("facesim:mesh", 0.22 * work, stride=72, elem=24)
+        return {"force_norm": float(np.abs(forces).sum())}
+
+
+class Ferret(_ParsecKernel):
+    """Content-based similarity search: feature FP + index probes."""
+
+    name = "ferret"
+
+    def execute(self, ctx) -> dict:
+        rng = np.random.default_rng(15)
+        database = rng.random((5000, 48))
+        queries = rng.random((64, 48))
+        d = ((queries[:, None, :] - database[None, :, :]) ** 2).sum(axis=2)
+        nearest = np.argmin(d, axis=1)
+        work = d.size * WORK_SCALE
+        ctx.touch("ferret:index", 48 * MB)
+        ctx.fp_ops(3.0 * work)
+        ctx.int_ops(2.2 * work)
+        ctx.branch_ops(0.5 * work)
+        ctx.skewed_read("ferret:index", work / 12, hot_fraction=0.1, hot_prob=0.9)
+        return {"nearest_sum": int(nearest.sum())}
+
+
+class Fluidanimate(_ParsecKernel):
+    """SPH fluid: neighborhood FP interactions on a grid."""
+
+    name = "fluidanimate"
+
+    def execute(self, ctx) -> dict:
+        rng = np.random.default_rng(16)
+        particles = rng.random((50_000, 3))
+        cells = np.floor(particles * 16).astype(np.int64)
+        density = np.bincount(
+            cells[:, 0] * 256 + cells[:, 1] * 16 + cells[:, 2], minlength=4096
+        )
+        work = len(particles) * WORK_SCALE * 12
+        ctx.touch("fluid:grid", 6 * MB)
+        ctx.fp_ops(55.0 * work)
+        ctx.int_ops(28.0 * work)
+        ctx.branch_ops(6.0 * work)
+        ctx.stride_read("fluid:grid", 0.6 * work, stride=192, elem=48)
+        return {"occupied_cells": int((density > 0).sum())}
+
+
+class Freqmine(_ParsecKernel):
+    """FP-growth frequent itemset mining: tree walks, int heavy."""
+
+    name = "freqmine"
+
+    def execute(self, ctx) -> dict:
+        rng = np.random.default_rng(17)
+        transactions = rng.integers(0, 200, size=(40_000, 8))
+        counts = np.bincount(transactions.ravel(), minlength=200)
+        frequent = int((counts > len(transactions) * 0.05).sum())
+        work = transactions.size * WORK_SCALE * 4
+        ctx.touch("freqmine:tree", 24 * MB)
+        ctx.int_ops(30.0 * work)
+        ctx.fp_ops(1.5 * work)
+        ctx.branch_ops(9.0 * work)
+        ctx.skewed_read("freqmine:tree", 0.8 * work, hot_fraction=0.15, hot_prob=0.85)
+        return {"frequent_items": frequent}
+
+
+class Raytrace(_ParsecKernel):
+    """Ray-scene intersection: FP with BVH pointer chasing."""
+
+    name = "raytrace"
+
+    def execute(self, ctx) -> dict:
+        rng = np.random.default_rng(18)
+        spheres = rng.random((2000, 4))
+        rays = rng.random((20_000, 3))
+        hits = int((rays[:, 0:1] < spheres[None, :200, 0]).sum())
+        work = 20_000 * WORK_SCALE * 16
+        ctx.touch("raytrace:bvh", 32 * MB)
+        ctx.fp_ops(45.0 * work)
+        ctx.int_ops(20.0 * work)
+        ctx.branch_ops(10.0 * work)
+        ctx.skewed_read("raytrace:bvh", 1.2 * work, hot_fraction=0.1, hot_prob=0.9)
+        return {"hits": hits}
+
+
+class Streamcluster(_ParsecKernel):
+    """Online clustering: distance FP over streamed points."""
+
+    name = "streamcluster"
+
+    def execute(self, ctx) -> dict:
+        rng = np.random.default_rng(19)
+        points = rng.random((30_000, 16))
+        centers = points[:20]
+        d = ((points[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        assignment = np.argmin(d, axis=1)
+        work = d.size * WORK_SCALE
+        ctx.touch("sc:points", 8 * MB)
+        ctx.fp_ops(3.0 * work)
+        ctx.int_ops(1.4 * work)
+        ctx.branch_ops(0.25 * work)
+        ctx.seq_read("sc:points", work * 1.2, elem=8)
+        return {"center_counts": int(np.bincount(assignment).max())}
+
+
+class Swaptions(_ParsecKernel):
+    """Monte-Carlo swaption pricing: long FP simulation loops."""
+
+    name = "swaptions"
+
+    def execute(self, ctx) -> dict:
+        rng = np.random.default_rng(20)
+        paths = rng.normal(0, 1, (8000, 32)).cumsum(axis=1)
+        payoff = np.maximum(paths[:, -1], 0).mean()
+        work = paths.size * WORK_SCALE * 4
+        ctx.touch("swaptions:paths", 8 * MB)
+        ctx.fp_ops(28.0 * work)
+        ctx.int_ops(7.0 * work)
+        ctx.branch_ops(1.5 * work)
+        ctx.seq_read("swaptions:paths", work, elem=8)
+        return {"payoff": float(payoff)}
+
+
+class X264(_ParsecKernel):
+    """Video encoding: SAD block matching, integer SIMD style."""
+
+    name = "x264"
+
+    def execute(self, ctx) -> dict:
+        rng = np.random.default_rng(21)
+        frame = rng.integers(0, 256, (288, 352), dtype=np.int32)
+        ref = np.roll(frame, 2, axis=1)
+        sad = int(np.abs(frame - ref).sum())
+        work = frame.size * WORK_SCALE * 40
+        ctx.touch("x264:frames", 64 * MB)
+        ctx.int_ops(18.0 * work)
+        ctx.fp_ops(0.8 * work)
+        ctx.branch_ops(3.0 * work)
+        ctx.seq_read("x264:frames", 0.1 * work, elem=64)
+        ctx.stride_read("x264:frames", 0.09 * work, stride=352, elem=16)
+        return {"sad": sad}
+
+
+def _phi(x):
+    """Standard normal CDF via erf-free approximation (vectorized)."""
+    import numpy as np
+
+    t = 1.0 / (1.0 + 0.2316419 * np.abs(x))
+    poly = t * (0.319381530 + t * (-0.356563782 + t * (1.781477937
+               + t * (-1.821255978 + t * 1.330274429))))
+    cdf = 1.0 - np.exp(-x * x / 2.0) / np.sqrt(2 * np.pi) * poly
+    return np.where(x >= 0, cdf, 1.0 - cdf)
+
+
+PARSEC_KERNELS = (
+    Blackscholes, Bodytrack, Canneal, Dedup, Facesim, Ferret,
+    Fluidanimate, Freqmine, Raytrace, Streamcluster, Swaptions, X264,
+)
+
+
+def parsec_suite() -> list:
+    """All twelve PARSEC benchmarks, as run in the paper."""
+    return [cls() for cls in PARSEC_KERNELS]

@@ -1,0 +1,175 @@
+"""SPEC CPU2006-like kernel groups: SPECINT and SPECFP.
+
+The paper runs the official applications with the first reference input
+and reports group averages (Section 6.1.3).  SPECINT is the
+integer-operation extreme (int/fp ratio ~409); SPECFP carries high FP
+intensity with moderate cache pressure (L2 MPKI ~14, L3 ~1.4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.kernels import BaselineKernel, MB
+from repro.uarch.codemodel import SPEC_CODE
+
+WORK_SCALE = 64
+
+
+class _SpecIntKernel(BaselineKernel):
+    suite = "SPECINT"
+    code_profile = SPEC_CODE
+
+
+class _SpecFpKernel(BaselineKernel):
+    suite = "SPECFP"
+    code_profile = SPEC_CODE
+
+
+# ---------------------------------------------------------------------------
+# SPECINT-like
+# ---------------------------------------------------------------------------
+
+class CompressKernel(_SpecIntKernel):
+    """bzip2-like: byte-stream transforms and frequency modeling."""
+
+    name = "401.compress"
+
+    def execute(self, ctx) -> dict:
+        rng = np.random.default_rng(30)
+        data = rng.integers(0, 256, 400_000, dtype=np.uint8)
+        freq = np.bincount(data, minlength=256)
+        entropy = float(-np.sum(
+            (freq / len(data)) * np.log2(np.maximum(freq, 1) / len(data))
+        ))
+        nbytes = len(data) * WORK_SCALE
+        ctx.touch("compress:window", 6 * MB)
+        ctx.int_ops(24.0 * nbytes)
+        ctx.branch_ops(7.0 * nbytes)
+        ctx.fp_ops(0.02 * nbytes)
+        ctx.seq_read("compress:window", nbytes, elem=64)
+        ctx.skewed_read("compress:window", 1.2 * nbytes,
+                        hot_fraction=0.08, hot_prob=0.85)
+        return {"entropy_bits": entropy}
+
+
+class GraphSearchKernel(_SpecIntKernel):
+    """astar/mcf-like: pointer-heavy search over a large arena."""
+
+    name = "473.graphsearch"
+
+    def execute(self, ctx) -> dict:
+        rng = np.random.default_rng(31)
+        nodes = 50_000
+        successors = rng.integers(0, nodes, size=(nodes, 4))
+        frontier = {0}
+        for _ in range(3):
+            frontier = {int(s) for f in list(frontier)[:500]
+                        for s in successors[f]}
+        work = nodes * WORK_SCALE * 20
+        ctx.touch("search:arena", 48 * MB)
+        ctx.int_ops(18.0 * work)
+        ctx.branch_ops(6.0 * work)
+        ctx.fp_ops(0.03 * work)
+        ctx.skewed_read("search:arena", 0.55 * work, hot_fraction=0.04, hot_prob=0.88)
+        return {"frontier": len(frontier)}
+
+
+class InterpreterKernel(_SpecIntKernel):
+    """perlbench/gcc-like: dispatch loops and symbol tables."""
+
+    name = "400.interpreter"
+
+    def execute(self, ctx) -> dict:
+        rng = np.random.default_rng(32)
+        ops = rng.integers(0, 16, 300_000)
+        acc = 0
+        for op, chunk in zip(*np.unique(ops, return_counts=True)):
+            acc += int(op) * int(chunk)
+        work = len(ops) * WORK_SCALE * 6
+        ctx.touch("interp:tables", 20 * MB)
+        ctx.int_ops(30.0 * work)
+        ctx.branch_ops(11.0 * work)
+        ctx.fp_ops(0.05 * work)
+        ctx.skewed_read("interp:tables", 1.0 * work, hot_fraction=0.06, hot_prob=0.92)
+        ctx.seq_read("interp:bytecode", work, elem=16)
+        return {"acc": acc}
+
+
+# ---------------------------------------------------------------------------
+# SPECFP-like
+# ---------------------------------------------------------------------------
+
+class StencilKernel(_SpecFpKernel):
+    """leslie3d/zeusmp-like: 3-D stencil sweeps."""
+
+    name = "437.stencil"
+
+    def execute(self, ctx) -> dict:
+        rng = np.random.default_rng(33)
+        grid = rng.random((64, 64, 64))
+        smoothed = (grid + np.roll(grid, 1, 0) + np.roll(grid, 1, 1)
+                    + np.roll(grid, 1, 2)) / 4.0
+        work = grid.size * WORK_SCALE * 10
+        ctx.touch("stencil:grid", 8 * MB)
+        ctx.fp_ops(8.0 * work)
+        ctx.int_ops(3.0 * work)
+        ctx.branch_ops(0.4 * work)
+        ctx.seq_read("stencil:grid", 0.9 * work, elem=8)
+        ctx.stride_read("stencil:grid", 0.3 * work, stride=64 * 8, elem=8)
+        ctx.seq_write("stencil:grid", 0.3 * work, elem=8)
+        return {"mean": float(smoothed.mean())}
+
+
+class MolecularKernel(_SpecFpKernel):
+    """namd/gromacs-like: pairwise force FP with neighbor lists."""
+
+    name = "444.molecular"
+
+    def execute(self, ctx) -> dict:
+        rng = np.random.default_rng(34)
+        atoms = rng.random((8000, 3))
+        pairs = rng.integers(0, len(atoms), size=(60_000, 2))
+        delta = atoms[pairs[:, 0]] - atoms[pairs[:, 1]]
+        energy = float((1.0 / np.maximum((delta ** 2).sum(axis=1), 1e-6)).sum())
+        work = len(pairs) * WORK_SCALE * 8
+        ctx.touch("md:atoms", 6 * MB)
+        ctx.fp_ops(30.0 * work)
+        ctx.int_ops(8.0 * work)
+        ctx.branch_ops(1.2 * work)
+        ctx.skewed_read("md:atoms", 1.4 * work, hot_fraction=0.05, hot_prob=0.9)
+        return {"energy": energy}
+
+
+class LinearSolverKernel(_SpecFpKernel):
+    """soplex/calculix-like: sparse matrix-vector iterations."""
+
+    name = "450.solver"
+
+    def execute(self, ctx) -> dict:
+        rng = np.random.default_rng(35)
+        n = 40_000
+        diag = rng.random(n) + 1.0
+        x = np.ones(n)
+        for _ in range(4):
+            x = (1.0 + 0.5 * np.roll(x, 1)) / diag
+        work = n * WORK_SCALE * 30
+        ctx.touch("solver:matrix", 10 * MB)
+        ctx.fp_ops(10.0 * work)
+        ctx.int_ops(4.0 * work)
+        ctx.branch_ops(0.8 * work)
+        ctx.seq_read("solver:matrix", 1.2 * work, elem=8)
+        ctx.rand_read("solver:matrix", 0.05 * work)
+        return {"norm": float(np.abs(x).sum())}
+
+
+SPECINT_KERNELS = (CompressKernel, GraphSearchKernel, InterpreterKernel)
+SPECFP_KERNELS = (StencilKernel, MolecularKernel, LinearSolverKernel)
+
+
+def specint_suite() -> list:
+    return [cls() for cls in SPECINT_KERNELS]
+
+
+def specfp_suite() -> list:
+    return [cls() for cls in SPECFP_KERNELS]

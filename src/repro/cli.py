@@ -1,0 +1,211 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The paper's sixth benchmarking requirement is usability -- "easy to
+deploy, configure, and run, and the performance data should be easy to
+obtain" (Section 2).  This CLI is that surface:
+
+    python -m repro list
+    python -m repro run WordCount --scale 4 --stack spark
+    python -m repro sweep Grep
+    python -m repro table 4
+    python -m repro figure 6
+    python -m repro roofline Sort K-means
+    python -m repro export out/csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import registry
+from repro.core.harness import Harness
+from repro.core.report import render_table
+from repro.core.workload import SCALE_FACTORS
+from repro.uarch.hierarchy import MACHINES, XEON_E5645
+
+
+def _machine(name: str):
+    for machine in MACHINES.values():
+        if name.lower() in machine.name.lower():
+            return machine
+    known = ", ".join(MACHINES)
+    raise SystemExit(f"unknown machine {name!r}; known: {known}")
+
+
+def cmd_list(args) -> None:
+    rows = []
+    for name in registry.workload_names():
+        info = registry.WORKLOAD_CLASSES[name].info
+        rows.append([info.workload_id, info.name, info.app_type, info.metric,
+                     ", ".join(info.stacks)])
+    print(render_table(["#", "Workload", "Type", "Metric", "Stacks"], rows,
+                       title="BigDataBench workloads (Table 4)"))
+
+
+def cmd_run(args) -> None:
+    harness = Harness(machine=_machine(args.machine))
+    outcome = harness.characterize(args.workload, scale=args.scale,
+                                   stack=args.stack)
+    events = outcome.events
+    rows = [
+        ["metric", f"{outcome.result.metric_name} = "
+                   f"{outcome.result.metric_value:.4g}"],
+        ["stack", outcome.stack],
+        ["instructions", f"{events.instructions:.4g}"],
+        ["L1I / L2 / L3 MPKI",
+         f"{events.l1i_mpki:.2f} / {events.l2_mpki:.2f} / {events.l3_mpki:.2f}"],
+        ["ITLB / DTLB MPKI", f"{events.itlb_mpki:.3f} / {events.dtlb_mpki:.3f}"],
+        ["int/FP ratio", f"{events.int_fp_ratio:.1f}"],
+        ["FP / INT intensity",
+         f"{events.fp_intensity:.5f} / {events.int_intensity:.4f}"],
+        ["aggregate MIPS", f"{outcome.mips:.4g}"],
+        ["modeled time", f"{outcome.modeled_seconds:.1f} s"],
+    ]
+    print(render_table(["Quantity", "Value"], rows,
+                       title=f"{args.workload} @ {args.scale}x on {outcome.machine}"))
+    for key, value in sorted(outcome.result.details.items()):
+        print(f"  {key}: {value}")
+
+
+def cmd_sweep(args) -> None:
+    harness = Harness(machine=_machine(args.machine))
+    rows = []
+    for point in harness.sweep(args.workload, scales=SCALE_FACTORS,
+                               stack=args.stack):
+        rows.append([
+            f"{point.scale}x", f"{point.result.metric_value:.4g}",
+            f"{point.mips:.4g}", point.events.l3_mpki,
+        ])
+    print(render_table(
+        ["Scale", point.result.metric_name, "MIPS", "L3 MPKI"], rows,
+        title=f"{args.workload}: Table 6 data sweep",
+    ))
+
+
+def cmd_table(args) -> None:
+    from repro.analysis import render_paper_table
+
+    print(render_paper_table(f"Table {args.number}"))
+
+
+def cmd_figure(args) -> None:
+    from repro.analysis import (
+        figure2, figure3_mips, figure3_speedup, figure4,
+        figure5, figure6_cache, figure6_tlb,
+    )
+
+    harness = Harness(machine=XEON_E5645)
+    number = args.number
+    if number == "2":
+        print(figure2(harness).render())
+    elif number in ("3", "3-1"):
+        print(figure3_mips(harness).render())
+        if number == "3":
+            print()
+            print(figure3_speedup(harness).render())
+    elif number == "3-2":
+        print(figure3_speedup(harness).render())
+    elif number == "4":
+        print(figure4(harness).render())
+    elif number == "5":
+        fig51, fig52 = figure5(harness)
+        print(fig51.render())
+        print()
+        print(fig52.render())
+    elif number == "6":
+        print(figure6_cache(harness).render())
+        print()
+        print(figure6_tlb(harness).render())
+    else:
+        raise SystemExit(f"unknown figure {number!r} (2, 3, 3-1, 3-2, 4, 5, 6)")
+
+
+def cmd_roofline(args) -> None:
+    from repro.analysis.roofline import render_roofline, roofline_points
+
+    harness = Harness()
+    names = args.workloads or registry.workload_names()
+    print(render_roofline(roofline_points(harness, names)))
+
+
+def cmd_rank(args) -> None:
+    from repro.analysis.ranking import render_ranking, score_configuration
+
+    harness = Harness()
+    multi = ["Sort", "Grep", "WordCount", "PageRank", "K-means",
+             "Connected Components"]
+    scores = []
+    for stack in ("hadoop", "spark", "mpi"):
+        scores.append(score_configuration(
+            harness, f"analytics on {stack}", names=multi,
+            stacks={name: stack for name in multi},
+        ))
+    print(render_ranking(scores))
+
+
+def cmd_export(args) -> None:
+    from repro.analysis import export_all
+
+    harness = Harness()
+    written = export_all(harness, args.directory,
+                         include_sweeps=args.sweeps)
+    for path in written:
+        print(path)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BigDataBench reproduction: run workloads, regenerate "
+                    "the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the 19 workloads").set_defaults(fn=cmd_list)
+
+    run = sub.add_parser("run", help="characterize one workload")
+    run.add_argument("workload")
+    run.add_argument("--scale", type=int, default=1)
+    run.add_argument("--stack", default=None)
+    run.add_argument("--machine", default="E5645")
+    run.set_defaults(fn=cmd_run)
+
+    sweep = sub.add_parser("sweep", help="run the Table 6 data sweep")
+    sweep.add_argument("workload")
+    sweep.add_argument("--stack", default=None)
+    sweep.add_argument("--machine", default="E5645")
+    sweep.set_defaults(fn=cmd_sweep)
+
+    table = sub.add_parser("table", help="regenerate a paper table (1-7)")
+    table.add_argument("number")
+    table.set_defaults(fn=cmd_table)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure (2-6)")
+    figure.add_argument("number")
+    figure.set_defaults(fn=cmd_figure)
+
+    roofline = sub.add_parser("roofline", help="roofline placement")
+    roofline.add_argument("workloads", nargs="*")
+    roofline.set_defaults(fn=cmd_roofline)
+
+    rank = sub.add_parser("rank", help="rank stack configurations by "
+                                       "suite score")
+    rank.set_defaults(fn=cmd_rank)
+
+    export = sub.add_parser("export", help="dump tables/figures as CSV")
+    export.add_argument("directory")
+    export.add_argument("--sweeps", action="store_true",
+                        help="include the expensive Figure 2/3 sweeps")
+    export.set_defaults(fn=cmd_export)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    args.fn(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

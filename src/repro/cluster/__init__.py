@@ -1,0 +1,30 @@
+"""Cluster hardware specs and the analytic job-time model.
+
+Stands in for the paper's 14-node Xeon E5645 testbed: node/disk/NIC
+specifications (Table 5 plus Section 6.1) and a phase-based time model
+that converts measured byte/operation counts into modeled runtimes for
+the user-perceivable metrics (DPS, OPS, RPS).
+"""
+
+from repro.cluster.node import (
+    ClusterSpec,
+    DiskSpec,
+    NicSpec,
+    NodeSpec,
+    PAPER_CLUSTER,
+    SINGLE_NODE,
+)
+from repro.cluster.timemodel import JobCost, PhaseCost, PhaseTime, TimeModel
+
+__all__ = [
+    "ClusterSpec",
+    "DiskSpec",
+    "JobCost",
+    "NicSpec",
+    "NodeSpec",
+    "PAPER_CLUSTER",
+    "PhaseCost",
+    "PhaseTime",
+    "SINGLE_NODE",
+    "TimeModel",
+]

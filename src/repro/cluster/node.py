@@ -1,0 +1,99 @@
+"""Hardware specification of cluster nodes.
+
+Models the paper's testbed (Section 6.1): 14 nodes, each with two Xeon
+E5645 processors, 16 GB of memory, 8 TB of disk, and gigabit Ethernet.
+The specs feed the analytic job-time model in
+:mod:`repro.cluster.timemodel`, which converts measured operation and
+byte counts into modeled runtimes for the user-perceivable metrics
+(DPS/OPS/RPS, Section 6.1.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.uarch.hierarchy import MachineConfig, XEON_E5645
+
+GB = 1024 ** 3
+TB = 1024 ** 4
+MB = 1024 ** 2
+
+
+@dataclass(frozen=True)
+class DiskSpec:
+    """A spinning disk: sequential bandwidth plus a random-IO budget."""
+
+    capacity_bytes: int = 8 * TB
+    seq_bandwidth: float = 130 * MB     # bytes/second, sustained sequential
+    random_iops: float = 180.0          # 4K random operations per second
+    seek_seconds: float = 0.008
+
+    def __post_init__(self) -> None:
+        if self.seq_bandwidth <= 0 or self.random_iops <= 0:
+            raise ValueError("disk rates must be positive")
+
+
+@dataclass(frozen=True)
+class NicSpec:
+    """A network interface: bandwidth and per-message latency."""
+
+    bandwidth: float = 125 * MB         # 1 GbE in bytes/second
+    latency_seconds: float = 100e-6
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError("NIC bandwidth must be positive")
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One cluster node: processor(s), memory, disk, NIC."""
+
+    name: str = "testbed-node"
+    machine: MachineConfig = XEON_E5645
+    memory_bytes: int = 16 * GB
+    disk: DiskSpec = DiskSpec()
+    nic: NicSpec = NicSpec()
+
+    def __post_init__(self) -> None:
+        if self.memory_bytes <= 0:
+            raise ValueError("memory must be positive")
+
+    @property
+    def cores(self) -> int:
+        return self.machine.total_cores
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster of ``num_nodes`` nodes (paper: 14)."""
+
+    node: NodeSpec = NodeSpec()
+    num_nodes: int = 14
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise ValueError("cluster needs at least one node")
+
+    @property
+    def total_cores(self) -> int:
+        return self.node.cores * self.num_nodes
+
+    @property
+    def total_memory_bytes(self) -> int:
+        return self.node.memory_bytes * self.num_nodes
+
+    @property
+    def aggregate_disk_bandwidth(self) -> float:
+        return self.node.disk.seq_bandwidth * self.num_nodes
+
+    @property
+    def aggregate_network_bandwidth(self) -> float:
+        return self.node.nic.bandwidth * self.num_nodes
+
+
+#: The paper's testbed: 14 dual-E5645 nodes (Section 6.1).
+PAPER_CLUSTER = ClusterSpec(node=NodeSpec(), num_nodes=14)
+
+#: A single node, for service workloads pinned to one machine.
+SINGLE_NODE = ClusterSpec(node=NodeSpec(), num_nodes=1)

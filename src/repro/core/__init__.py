@@ -1,0 +1,68 @@
+"""Core framework: workload interface, registry, harness, reporting.
+
+Registry and harness names are provided lazily (PEP 562): they import
+the workload implementations, which themselves import
+``repro.core.workload`` -- eager imports here would be circular.
+"""
+
+from repro.core.report import render_series, render_table
+from repro.core.workload import (
+    DATA_SCALE,
+    DPS,
+    OFFLINE,
+    ONLINE,
+    OPS,
+    REALTIME,
+    RPS,
+    SCALE_FACTORS,
+    Workload,
+    WorkloadInfo,
+    WorkloadInput,
+    WorkloadResult,
+)
+
+_REGISTRY_NAMES = {
+    "WORKLOAD_CLASSES", "analytics_names", "by_app_type", "create", "info",
+    "oltp_names", "service_names", "workload_names",
+}
+_HARNESS_NAMES = {"CharacterizationResult", "Harness"}
+
+
+def __getattr__(name):
+    if name in _REGISTRY_NAMES:
+        from repro.core import registry
+
+        return getattr(registry, name)
+    if name in _HARNESS_NAMES:
+        from repro.core import harness
+
+        return getattr(harness, name)
+    raise AttributeError(f"module 'repro.core' has no attribute {name!r}")
+
+
+__all__ = [
+    "CharacterizationResult",
+    "DATA_SCALE",
+    "DPS",
+    "Harness",
+    "OFFLINE",
+    "ONLINE",
+    "OPS",
+    "REALTIME",
+    "RPS",
+    "SCALE_FACTORS",
+    "WORKLOAD_CLASSES",
+    "Workload",
+    "WorkloadInfo",
+    "WorkloadInput",
+    "WorkloadResult",
+    "analytics_names",
+    "by_app_type",
+    "create",
+    "info",
+    "oltp_names",
+    "render_series",
+    "render_table",
+    "service_names",
+    "workload_names",
+]

@@ -1,0 +1,116 @@
+"""The characterization harness: run workloads under the profiler.
+
+This is the reproduction's equivalent of the paper's experimental rig
+(Section 6.1): pick a workload, a data scale, a software stack, and a
+machine configuration; prepare the input with BDGS; execute; collect the
+perf events, the modeled report, and the user-perceivable metric.
+Results are memoized so figure generators can share runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.node import ClusterSpec, PAPER_CLUSTER
+from repro.core import registry
+from repro.core.workload import SCALE_FACTORS, WorkloadResult
+from repro.uarch.events import ProfileReport
+from repro.uarch.hierarchy import MachineConfig, XEON_E5645
+from repro.uarch.perfctx import PerfContext
+
+
+@dataclass
+class CharacterizationResult:
+    """One profiled workload run."""
+
+    workload: str
+    scale: int
+    stack: str
+    machine: str
+    report: ProfileReport
+    result: WorkloadResult
+
+    @property
+    def events(self):
+        return self.report.events
+
+    @property
+    def mips(self) -> float:
+        """Aggregate MIPS (Figure 3-1).
+
+        Service workloads report throughput-derived MIPS; batch workloads
+        divide their (paper-scale) instruction count by the modeled
+        wall-clock time, which includes the fixed per-job overheads --
+        the term the paper's rising MIPS curves amortize.
+        """
+        service_mips = self.result.details.get("mips")
+        if service_mips is not None:
+            return service_mips
+        seconds = self.modeled_seconds
+        if seconds <= 0:
+            return self.report.mips
+        from repro.core.workload import DATA_SCALE
+
+        return self.events.instructions * DATA_SCALE / seconds / 1e6
+
+    @property
+    def modeled_seconds(self) -> float:
+        from repro.cluster.timemodel import TimeModel
+        from repro.core.workload import DATA_SCALE
+
+        if not self.result.cost.phases:
+            return 0.0
+        return TimeModel(data_scale=DATA_SCALE).job_time(self.result.cost)
+
+
+class Harness:
+    """Runs and memoizes profiled workload executions."""
+
+    def __init__(self, machine: MachineConfig = XEON_E5645,
+                 cluster: ClusterSpec = PAPER_CLUSTER, seed: int = 0):
+        self.machine = machine
+        self.cluster = cluster
+        self.seed = seed
+        self._cache: dict = {}
+        self._inputs: dict = {}
+
+    def characterize(self, name: str, scale: int = 1, stack: str = None,
+                     machine: MachineConfig = None) -> CharacterizationResult:
+        """Run one workload at one scale on one machine, profiled."""
+        machine = machine or self.machine
+        workload = registry.create(name)
+        stack_used = workload.check_stack(stack)
+        key = (name, scale, stack_used, machine.name)
+        if key in self._cache:
+            return self._cache[key]
+
+        prepared = self._prepared(name, scale)
+        ctx = PerfContext(machine, seed=self.seed)
+        result = workload.run(prepared, ctx=ctx, cluster=self.cluster,
+                              stack=stack_used)
+        report = ctx.finalize(
+            cores_used=self.cluster.total_cores,
+            metadata={"workload": name, "scale": scale, "stack": stack_used},
+        )
+        outcome = CharacterizationResult(
+            workload=name, scale=scale, stack=stack_used,
+            machine=machine.name, report=report, result=result,
+        )
+        self._cache[key] = outcome
+        return outcome
+
+    def sweep(self, name: str, scales=SCALE_FACTORS, stack: str = None) -> list:
+        """The paper's data-volume sweep (Table 6 geometry)."""
+        return [self.characterize(name, scale=s, stack=stack) for s in scales]
+
+    def suite(self, names=None, scale: int = 1) -> list:
+        """Characterize many workloads at one scale (Figures 4-6 input)."""
+        names = names or registry.workload_names()
+        return [self.characterize(name, scale=scale) for name in names]
+
+    def _prepared(self, name: str, scale: int):
+        key = (name, scale)
+        if key not in self._inputs:
+            workload = registry.create(name)
+            self._inputs[key] = workload.prepare(scale, seed=self.seed)
+        return self._inputs[key]

@@ -1,0 +1,84 @@
+"""The workload registry: every Table 4 row, constructible by name."""
+
+from __future__ import annotations
+
+from repro.core.workload import Workload
+from repro.workloads import (
+    AggregateQueryWorkload,
+    BfsWorkload,
+    CollaborativeFilteringWorkload,
+    ConnectedComponentsWorkload,
+    GrepWorkload,
+    IndexWorkload,
+    JoinQueryWorkload,
+    KmeansWorkload,
+    NaiveBayesWorkload,
+    NutchServerWorkload,
+    OlioServerWorkload,
+    PageRankWorkload,
+    ReadWorkload,
+    RubisServerWorkload,
+    ScanWorkload,
+    SelectQueryWorkload,
+    SortWorkload,
+    WordCountWorkload,
+    WriteWorkload,
+)
+
+#: All 19 workload classes, keyed by their Table 4 names.
+WORKLOAD_CLASSES = {
+    cls.info.name: cls
+    for cls in (
+        SortWorkload, GrepWorkload, WordCountWorkload, BfsWorkload,
+        ReadWorkload, WriteWorkload, ScanWorkload,
+        SelectQueryWorkload, AggregateQueryWorkload, JoinQueryWorkload,
+        NutchServerWorkload, PageRankWorkload, IndexWorkload,
+        OlioServerWorkload, KmeansWorkload, ConnectedComponentsWorkload,
+        RubisServerWorkload, CollaborativeFilteringWorkload,
+        NaiveBayesWorkload,
+    )
+}
+
+
+def workload_names() -> list:
+    """The 19 names in Table 6 order."""
+    return sorted(WORKLOAD_CLASSES, key=lambda n: WORKLOAD_CLASSES[n].info.workload_id)
+
+
+def create(name: str, **kwargs) -> Workload:
+    """Instantiate a workload by its Table 4 name."""
+    try:
+        cls = WORKLOAD_CLASSES[name]
+    except KeyError:
+        known = ", ".join(workload_names())
+        raise KeyError(f"unknown workload {name!r}; known: {known}") from None
+    return cls(**kwargs)
+
+
+def info(name: str):
+    """The Table 4 metadata row of one workload."""
+    return WORKLOAD_CLASSES[name].info if name in WORKLOAD_CLASSES else create(name)
+
+
+def by_app_type(app_type: str) -> list:
+    """Workload names of one application type (Section 4.1)."""
+    return [n for n in workload_names()
+            if WORKLOAD_CLASSES[n].info.app_type == app_type]
+
+
+def analytics_names() -> list:
+    """Workloads measured in DPS (offline + realtime analytics)."""
+    return [n for n in workload_names()
+            if WORKLOAD_CLASSES[n].info.metric == "DPS"]
+
+
+def service_names() -> list:
+    """Workloads measured in RPS (online services)."""
+    return [n for n in workload_names()
+            if WORKLOAD_CLASSES[n].info.metric == "RPS"]
+
+
+def oltp_names() -> list:
+    """Workloads measured in OPS (Cloud OLTP)."""
+    return [n for n in workload_names()
+            if WORKLOAD_CLASSES[n].info.metric == "OPS"]

@@ -1,0 +1,45 @@
+"""Plain-text table and series renderers for the analysis modules.
+
+Every paper table/figure generator emits its data through these, so
+bench output is uniform and diffable.
+"""
+
+from __future__ import annotations
+
+
+def render_table(headers: list, rows: list, title: str = None) -> str:
+    """Render an ASCII table with aligned columns."""
+    columns = [str(h) for h in headers]
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in columns]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells):
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(columns))
+    out.append("-+-".join("-" * w for w in widths))
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def render_series(name: str, xs: list, ys: list, x_label: str = "x",
+                  y_label: str = "y") -> str:
+    """Render one figure series as labelled columns."""
+    rows = [[x, y] for x, y in zip(xs, ys)]
+    return render_table([x_label, y_label], rows, title=name)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)

@@ -1,0 +1,121 @@
+"""Workload framework: the interface every BigDataBench workload implements.
+
+A workload bundles (1) its Table 4 metadata -- application scenario,
+application type, data type/source, software stacks; (2) its Table 6
+input geometry -- what the baseline input is and how it scales; (3) a
+``prepare`` step that synthesizes its input with BDGS; and (4) a ``run``
+step that executes it on one of its software stacks under a profiling
+context and returns functional results plus cost accounting.
+
+Scaled-down input sizes: the paper's baselines (32 GB, 10^6 pages,
+2^15 vertices, 100 req/s) are shrunk ~1000-8000x so a full sweep runs in
+seconds; the 1x/4x/8x/16x/32x scale geometry of Table 6 is preserved
+exactly (see DESIGN.md, substitution 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.node import ClusterSpec, PAPER_CLUSTER
+from repro.cluster.timemodel import JobCost, TimeModel
+
+#: The data-scale multipliers of the paper's sweep (Table 6, Section 6.2).
+SCALE_FACTORS = (1, 4, 8, 16, 32)
+
+#: Global shrink factor of the reproduction's inputs versus the paper's
+#: (4 MB baseline stands for 32 GB).  The time model maps byte volumes
+#: back through this factor so memory-pressure and congestion effects
+#: occur at the same relative points (DESIGN.md, substitution 3).
+DATA_SCALE = 8192.0
+
+#: Application types (Section 4.1).
+OFFLINE = "Offline Analytics"
+ONLINE = "Online Service"
+REALTIME = "Realtime Analytics"
+
+#: User-perceivable metrics (Section 6.1.2).
+DPS = "DPS"   # data processed per second (analytics)
+OPS = "OPS"   # operations per second (Cloud OLTP)
+RPS = "RPS"   # requests per second (online services)
+
+
+@dataclass(frozen=True)
+class WorkloadInfo:
+    """One row of the paper's Table 4 plus its Table 6 input geometry."""
+
+    name: str
+    scenario: str          # e.g. "Micro Benchmarks", "Search Engine"
+    app_type: str          # OFFLINE / ONLINE / REALTIME
+    data_type: str         # structured / semi-structured / unstructured
+    data_source: str       # text / graph / table
+    stacks: tuple          # software stacks (Table 4)
+    metric: str            # DPS / OPS / RPS
+    input_description: str # Table 6 input column, paper units
+    workload_id: int       # Table 6 row number
+
+
+@dataclass
+class WorkloadInput:
+    """Prepared input: payload(s), real byte size, and scale metadata."""
+
+    payload: object
+    nbytes: int
+    scale: int
+    details: dict = field(default_factory=dict)
+
+
+@dataclass
+class WorkloadResult:
+    """Functional output and accounting of one workload run."""
+
+    workload: str
+    stack: str
+    scale: int
+    input_bytes: float
+    cost: JobCost
+    metric_name: str
+    metric_value: float
+    details: dict = field(default_factory=dict)
+
+
+class Workload:
+    """Base class; subclasses define ``info``, ``prepare`` and ``run``."""
+
+    info: WorkloadInfo = None
+
+    #: The stack used when none is requested (Table 4's first stack).
+    default_stack = "hadoop"
+
+    def prepare(self, scale: int, seed: int = 0) -> WorkloadInput:
+        """Synthesize the input for ``scale`` x the baseline via BDGS."""
+        raise NotImplementedError
+
+    def run(self, prepared: WorkloadInput, ctx=None,
+            cluster: ClusterSpec = PAPER_CLUSTER, stack: str = None) -> WorkloadResult:
+        """Execute the workload and return results plus cost accounting."""
+        raise NotImplementedError
+
+    # -- shared helpers --------------------------------------------------------
+
+    def check_scale(self, scale: int) -> None:
+        if scale < 1:
+            raise ValueError(f"scale must be >= 1, got {scale}")
+
+    def check_stack(self, stack: str) -> str:
+        stack = (stack or self.default_stack).lower()
+        supported = {s.lower() for s in self.info.stacks}
+        if stack not in supported:
+            raise ValueError(
+                f"{self.info.name} supports stacks {sorted(supported)}, got {stack!r}"
+            )
+        return stack
+
+    def dps(self, input_bytes: float, cost: JobCost,
+            cluster: ClusterSpec) -> float:
+        """Data processed per second under the cluster time model."""
+        return TimeModel(cluster, data_scale=DATA_SCALE).dps(input_bytes, cost)
+
+    def modeled_seconds(self, cost: JobCost, cluster: ClusterSpec) -> float:
+        """Modeled wall-clock seconds of the run at paper scale."""
+        return TimeModel(cluster, data_scale=DATA_SCALE).job_time(cost)

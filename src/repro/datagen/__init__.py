@@ -1,0 +1,114 @@
+"""BDGS: the Big Data Generator Suite (paper Section 5).
+
+Estimate-then-generate synthetic data preserving seed characteristics,
+for all three data sources (text, graph, table) and all three data types
+(unstructured, semi-structured, structured), plus the six seed data sets
+of Table 2 (synthetic stand-ins), format converters, and veracity
+metrics.
+"""
+
+from repro.datagen.formats import (
+    Block,
+    csv_lines,
+    edge_list_lines,
+    kv_records,
+    split_blocks,
+    text_lines,
+)
+from repro.datagen.graph import (
+    Graph,
+    KroneckerModel,
+    graph_power_law_exponent,
+    preferential_attachment,
+)
+from repro.datagen.models import (
+    CategoricalColumnModel,
+    NumericColumnModel,
+    ZipfModel,
+    fit_categorical_column,
+    fit_degree_powerlaw,
+    fit_numeric_column,
+    fit_zipf,
+    ks_distance,
+    total_variation,
+)
+from repro.datagen.stream import (
+    DataStream,
+    RateProfile,
+    StreamBatch,
+    table_stream,
+    text_stream,
+)
+from repro.datagen.seeds import (
+    SEED_REGISTRY,
+    SeedInfo,
+    amazon_movie_reviews,
+    ecommerce_transactions,
+    facebook_social_graph,
+    google_web_graph,
+    load_seed,
+    profsearch_resumes,
+    wikipedia_entries,
+)
+from repro.datagen.table import (
+    ECommerceData,
+    ECommerceModel,
+    ResumeModel,
+    ResumeSet,
+    ReviewModel,
+    ReviewSet,
+    Table,
+    TableModel,
+)
+from repro.datagen.text import TextCorpus, TextModel, Vocabulary
+from repro.datagen.veracity import graph_veracity, table_veracity, text_veracity
+
+__all__ = [
+    "Block",
+    "DataStream",
+    "RateProfile",
+    "StreamBatch",
+    "CategoricalColumnModel",
+    "ECommerceData",
+    "ECommerceModel",
+    "Graph",
+    "KroneckerModel",
+    "NumericColumnModel",
+    "ResumeModel",
+    "ResumeSet",
+    "ReviewModel",
+    "ReviewSet",
+    "SEED_REGISTRY",
+    "SeedInfo",
+    "Table",
+    "TableModel",
+    "TextCorpus",
+    "TextModel",
+    "Vocabulary",
+    "ZipfModel",
+    "amazon_movie_reviews",
+    "csv_lines",
+    "ecommerce_transactions",
+    "edge_list_lines",
+    "facebook_social_graph",
+    "fit_categorical_column",
+    "fit_degree_powerlaw",
+    "fit_numeric_column",
+    "fit_zipf",
+    "google_web_graph",
+    "graph_power_law_exponent",
+    "graph_veracity",
+    "ks_distance",
+    "kv_records",
+    "load_seed",
+    "preferential_attachment",
+    "profsearch_resumes",
+    "split_blocks",
+    "table_stream",
+    "table_veracity",
+    "text_lines",
+    "text_stream",
+    "text_veracity",
+    "total_variation",
+    "wikipedia_entries",
+]

@@ -1,0 +1,79 @@
+"""Format-conversion tools (the BDGS "data format conversion" stage).
+
+Each BDGS generator "can produce synthetic data sets, and its data format
+conversion tools can transform these data sets into an appropriate format
+capable of being used as the inputs of a specific workload" (Section 5).
+These converters materialize token/edge/row data as the line- and
+record-oriented forms the engines consume, and split byte volumes into
+HDFS-style blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datagen.graph import Graph
+from repro.datagen.table import Table
+from repro.datagen.text import TextCorpus
+
+
+def text_lines(corpus: TextCorpus, limit: int = None):
+    """Yield documents as whitespace-joined word strings."""
+    vocab = corpus.vocabulary
+    count = corpus.num_docs if limit is None else min(limit, corpus.num_docs)
+    for index in range(count):
+        yield " ".join(vocab.words(corpus.doc(index)))
+
+
+def edge_list_lines(graph: Graph, limit: int = None):
+    """Yield the graph as tab-separated ``src\\tdst`` lines."""
+    count = graph.num_edges if limit is None else min(limit, graph.num_edges)
+    for src, dst in graph.edges[:count].tolist():
+        yield f"{src}\t{dst}"
+
+
+def csv_lines(table: Table, limit: int = None):
+    """Yield the table as a header line plus comma-separated rows."""
+    yield ",".join(table.column_names)
+    count = table.num_rows if limit is None else min(limit, table.num_rows)
+    columns = [table.column(name) for name in table.column_names]
+    for row in range(count):
+        yield ",".join(_format_field(col[row]) for col in columns)
+
+
+def _format_field(value) -> str:
+    if isinstance(value, (np.floating, float)):
+        return f"{float(value):.2f}"
+    return str(value)
+
+
+@dataclass(frozen=True)
+class Block:
+    """One HDFS-style block of a data set."""
+
+    index: int
+    offset: int
+    length: int
+
+
+def split_blocks(total_bytes: int, block_size: int = 64 * 1024 * 1024) -> list:
+    """Split a byte volume into fixed-size blocks (last one ragged)."""
+    if total_bytes < 0 or block_size <= 0:
+        raise ValueError("sizes must be positive")
+    blocks = []
+    offset = 0
+    index = 0
+    while offset < total_bytes:
+        length = min(block_size, total_bytes - offset)
+        blocks.append(Block(index=index, offset=offset, length=length))
+        offset += length
+        index += 1
+    return blocks
+
+
+def kv_records(value_sizes: np.ndarray, key_prefix: str = "row"):
+    """Yield (key, value_size) pairs for record stores (Cloud OLTP input)."""
+    for index, size in enumerate(np.asarray(value_sizes).tolist()):
+        yield f"{key_prefix}:{index:012d}", int(size)

@@ -1,0 +1,119 @@
+"""Velocity: timed streams of synthetic data (the paper's 4th V knob).
+
+"Velocity refers to the ability of dealing with regularly or irregularly
+refreshed data" (Section 2).  BDGS covers volume/variety/veracity with
+its estimate-then-generate models; this module adds the time axis: it
+wraps any generator into a stream of timestamped batches at a target
+rate, with either regular (fixed-interval) or irregular (bursty,
+Poisson-modulated) refresh.
+
+Streams are deterministic given their seed, so workloads replay them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class StreamBatch:
+    """One refresh: arrival time, payload, and its real byte size."""
+
+    sequence: int
+    timestamp: float      # seconds since stream start
+    payload: object
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class RateProfile:
+    """Arrival process of the stream.
+
+    ``regular`` emits batches on a fixed interval; otherwise intervals
+    are exponential (Poisson arrivals) with ``burstiness`` mixing in
+    occasional back-to-back bursts, the "irregularly refreshed" case.
+    """
+
+    batches_per_second: float
+    regular: bool = True
+    burstiness: float = 0.0   # 0 = pure Poisson, towards 1 = burstier
+
+    def __post_init__(self) -> None:
+        if self.batches_per_second <= 0:
+            raise ValueError("rate must be positive")
+        if not 0.0 <= self.burstiness < 1.0:
+            raise ValueError("burstiness must be in [0, 1)")
+
+    def intervals(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        mean = 1.0 / self.batches_per_second
+        if self.regular:
+            return np.full(count, mean)
+        gaps = rng.exponential(mean, size=count)
+        if self.burstiness > 0:
+            burst = rng.random(count) < self.burstiness
+            gaps[burst] *= 0.05                    # back-to-back burst
+            gaps[~burst] /= (1.0 - 0.95 * self.burstiness)  # keep the mean
+        return gaps
+
+
+class DataStream:
+    """A stream of generator output batches on an arrival schedule.
+
+    ``make_batch(sequence, rng) -> (payload, nbytes)`` produces each
+    refresh; any BDGS model method fits (a text model's ``generate``, a
+    table model slice, review batches).
+    """
+
+    def __init__(self, make_batch, rate: RateProfile, seed: int = 0):
+        self.make_batch = make_batch
+        self.rate = rate
+        self.seed = seed
+
+    def take(self, count: int) -> list:
+        """Materialize the first ``count`` batches with timestamps."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        rng = np.random.default_rng(self.seed)
+        gaps = self.rate.intervals(count, rng)
+        timestamps = np.cumsum(gaps)
+        batches = []
+        for sequence in range(count):
+            payload, nbytes = self.make_batch(sequence, rng)
+            batches.append(StreamBatch(
+                sequence=sequence,
+                timestamp=float(timestamps[sequence]),
+                payload=payload,
+                nbytes=nbytes,
+            ))
+        return batches
+
+    def bytes_per_second(self, count: int = 64) -> float:
+        """Observed data rate over the first ``count`` batches."""
+        batches = self.take(count)
+        if not batches or batches[-1].timestamp <= 0:
+            return 0.0
+        return sum(b.nbytes for b in batches) / batches[-1].timestamp
+
+
+def text_stream(model, docs_per_batch: int, rate: RateProfile,
+                seed: int = 0) -> DataStream:
+    """Stream of text batches from a fitted :class:`TextModel`."""
+
+    def make_batch(sequence, rng):
+        corpus = model.generate(docs_per_batch, rng)
+        return corpus, corpus.nbytes
+
+    return DataStream(make_batch, rate, seed=seed)
+
+
+def table_stream(model, rows_per_batch: int, rate: RateProfile,
+                 seed: int = 0) -> DataStream:
+    """Stream of relational batches from an :class:`ECommerceModel`."""
+
+    def make_batch(sequence, rng):
+        data = model.generate(rows_per_batch, rng)
+        return data, data.nbytes
+
+    return DataStream(make_batch, rate, seed=seed)

@@ -1,0 +1,66 @@
+"""Veracity metrics: does synthetic data preserve seed characteristics?
+
+Veracity is the paper's fourth V: "raw data characteristics must be
+preserved in processing or synthesizing big data" (Section 2).  These
+functions quantify seed-versus-synthetic agreement for each data source;
+the claim tests (C6) assert the thresholds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datagen.graph import Graph, graph_power_law_exponent
+from repro.datagen.models import fit_zipf, ks_distance, total_variation
+from repro.datagen.table import Table
+from repro.datagen.text import TextCorpus
+
+
+def text_veracity(seed: TextCorpus, synthetic: TextCorpus, top_k: int = 2000) -> dict:
+    """Compare Zipf slope and head-of-distribution mass of two corpora."""
+    seed_zipf = fit_zipf(seed.word_frequencies())
+    synth_zipf = fit_zipf(synthetic.word_frequencies())
+
+    def head_mass(corpus: TextCorpus) -> np.ndarray:
+        freq = np.sort(corpus.word_frequencies())[::-1][:top_k].astype(np.float64)
+        total = freq.sum()
+        return freq / total if total else freq
+
+    return {
+        "zipf_alpha_seed": seed_zipf.alpha,
+        "zipf_alpha_synthetic": synth_zipf.alpha,
+        "zipf_alpha_error": abs(seed_zipf.alpha - synth_zipf.alpha),
+        "head_tv_distance": total_variation(head_mass(seed), head_mass(synthetic)),
+        "mean_doc_len_ratio": (
+            float(synthetic.doc_lengths().mean()) / float(seed.doc_lengths().mean())
+        ),
+    }
+
+
+def graph_veracity(seed: Graph, synthetic: Graph) -> dict:
+    """Compare density, degree power-law exponent, and degree CDF shape."""
+    seed_deg = seed.degrees().astype(np.float64)
+    synth_deg = synthetic.degrees().astype(np.float64)
+    seed_pos = seed_deg[seed_deg > 0]
+    synth_pos = synth_deg[synth_deg > 0]
+    return {
+        "density_seed": seed.num_edges / max(1, seed.num_nodes),
+        "density_synthetic": synthetic.num_edges / max(1, synthetic.num_nodes),
+        "gamma_seed": graph_power_law_exponent(seed),
+        "gamma_synthetic": graph_power_law_exponent(synthetic),
+        "log_degree_ks": ks_distance(np.log(seed_pos), np.log(synth_pos)),
+    }
+
+
+def table_veracity(seed: Table, synthetic: Table) -> dict:
+    """Per-column KS distance between seed and synthetic tables."""
+    metrics = {}
+    for name in seed.column_names:
+        if name not in synthetic.columns:
+            raise KeyError(f"synthetic table missing column {name!r}")
+        metrics[f"ks:{name}"] = ks_distance(
+            seed.column(name).astype(np.float64),
+            synthetic.column(name).astype(np.float64),
+        )
+    metrics["max_column_ks"] = max(v for k, v in metrics.items() if k.startswith("ks:"))
+    return metrics

@@ -1,0 +1,28 @@
+"""Hadoop-style job counters."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+
+class Counters:
+    """A flat group of named numeric counters, Hadoop style."""
+
+    def __init__(self):
+        self._values = defaultdict(float)
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        self._values[name] += amount
+
+    def get(self, name: str) -> float:
+        return self._values.get(name, 0.0)
+
+    def as_dict(self) -> dict:
+        return dict(self._values)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}={v:g}" for k, v in sorted(self._values.items()))
+        return f"Counters({body})"

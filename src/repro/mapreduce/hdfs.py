@@ -1,0 +1,99 @@
+"""A minimal HDFS stand-in: named datasets split into fixed-size blocks.
+
+Jobs read *splits* -- one per block, Hadoop's default -- and the runtime
+charges the corresponding disk and cache traffic.  Payloads are arbitrary
+Python objects (usually numpy arrays); the declared ``nbytes`` is the
+*real* serialized size the workload represents, which can be much larger
+than the in-process representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datagen.formats import split_blocks
+
+DEFAULT_BLOCK_SIZE = 64 * 1024 * 1024
+
+
+@dataclass
+class Split:
+    """One input split: a payload slice plus its real byte size."""
+
+    index: int
+    payload: object
+    nbytes: int
+    dataset: str
+
+
+@dataclass
+class DfsFile:
+    """A stored dataset: payload plus real size and block geometry."""
+
+    name: str
+    payload: object
+    nbytes: int
+    block_size: int = DEFAULT_BLOCK_SIZE
+
+    def splits(self, slicer=None, min_splits: int = 1) -> list:
+        """Cut the file into one split per block.
+
+        ``slicer(payload, index, num_splits)`` extracts the payload slice
+        for one split.  Without a slicer, numpy-array payloads are evenly
+        split; any other payload type is only accepted whole (one split),
+        so records are never processed twice by accident.
+        """
+        blocks = split_blocks(self.nbytes, self.block_size)
+        num = max(len(blocks), min_splits, 1)
+        if slicer is None:
+            if isinstance(self.payload, np.ndarray):
+                chunks = np.array_split(self.payload, num)
+                slicer = lambda payload, index, total: chunks[index]  # noqa: E731
+            elif num > 1:
+                raise ValueError(
+                    f"{self.name!r} spans {num} splits; provide a slicer for "
+                    f"payload type {type(self.payload).__name__}"
+                )
+            else:
+                slicer = lambda payload, index, total: payload  # noqa: E731
+        sizes = [b.length for b in blocks] or [self.nbytes]
+        while len(sizes) < num:
+            sizes.append(0)
+        out = []
+        for index in range(num):
+            out.append(Split(index=index, payload=slicer(self.payload, index, num),
+                             nbytes=sizes[index], dataset=self.name))
+        return out
+
+
+@dataclass
+class Dfs:
+    """The cluster's distributed file system namespace."""
+
+    block_size: int = DEFAULT_BLOCK_SIZE
+    _files: dict = field(default_factory=dict)
+
+    def put(self, name: str, payload: object, nbytes: int) -> DfsFile:
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        file = DfsFile(name=name, payload=payload, nbytes=nbytes,
+                       block_size=self.block_size)
+        self._files[name] = file
+        return file
+
+    def get(self, name: str) -> DfsFile:
+        try:
+            return self._files[name]
+        except KeyError:
+            raise KeyError(f"no such DFS file {name!r}") from None
+
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    def delete(self, name: str) -> None:
+        self._files.pop(name, None)
+
+    def __len__(self) -> int:
+        return len(self._files)

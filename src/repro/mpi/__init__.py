@@ -1,0 +1,5 @@
+"""MPI-style Bulk Synchronous Parallel engine (native-stack analytics)."""
+
+from repro.mpi.bsp import BspProgram, BspResult, BspRuntime, Communicator
+
+__all__ = ["BspProgram", "BspResult", "BspRuntime", "Communicator"]

@@ -1,0 +1,182 @@
+"""MPI-style BSP engine: rank-parallel supersteps with message passing.
+
+The paper includes MPI as the HPC-community stack for offline analytics
+(BFS is MPI-only in Table 6; Sort/Grep/WordCount/PageRank/K-means/CC have
+planned MPI implementations).  This engine executes a
+:class:`BspProgram` across ``num_ranks`` simulated ranks: each superstep
+runs every rank's compute function against its partition state and the
+messages addressed to it, then delivers the messages sent during the
+step (a classic Bulk Synchronous Parallel schedule, which is also how
+the MPI graph codes the paper references are structured).
+
+Communication volumes are charged to both the profiler (memory traffic
+of packing/unpacking) and the :class:`~repro.cluster.timemodel.JobCost`
+(network bytes), so MPI-versus-Hadoop comparisons use the same time
+model.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.node import ClusterSpec, PAPER_CLUSTER
+from repro.cluster.timemodel import JobCost, PhaseCost
+from repro.mapreduce.runtime import FrameworkOverhead, MPI_OVERHEAD
+from repro.uarch.codemodel import MPI_STACK
+from repro.uarch.perfctx import context_or_null
+
+
+class Communicator:
+    """Per-superstep message buffers for one rank."""
+
+    def __init__(self, rank: int, num_ranks: int):
+        self.rank = rank
+        self.num_ranks = num_ranks
+        self._outbox = defaultdict(list)
+        self.bytes_sent = 0.0
+
+    def send(self, dst: int, payload: np.ndarray, wire_bytes: float = None) -> None:
+        """Queue ``payload`` for delivery to ``dst`` next superstep.
+
+        ``wire_bytes`` overrides the charged network volume -- collective
+        algorithms (ring all-reduce, trees) move far fewer bytes than a
+        naive all-to-all of full payloads.
+        """
+        if not 0 <= dst < self.num_ranks:
+            raise ValueError(f"rank {dst} out of range")
+        payload = np.asarray(payload)
+        self._outbox[dst].append(payload)
+        if dst != self.rank:
+            self.bytes_sent += payload.nbytes if wire_bytes is None else wire_bytes
+
+    def drain(self) -> dict:
+        out, self._outbox = self._outbox, defaultdict(list)
+        return out
+
+
+class BspProgram:
+    """A rank-parallel program executed in supersteps.
+
+    Subclasses provide initial per-rank state and the superstep body;
+    they charge their kernel costs to ``ctx`` directly.
+    """
+
+    name = "bsp"
+    code_profile = MPI_STACK
+
+    def init_rank(self, rank: int, num_ranks: int, ctx):
+        """Build and return rank-local state."""
+        raise NotImplementedError
+
+    def superstep(self, step: int, rank: int, state, inbox: list,
+                  comm: Communicator, ctx) -> bool:
+        """Run one superstep for one rank; return True while active."""
+        raise NotImplementedError
+
+    def input_bytes(self) -> int:
+        """Real bytes of input loaded at init (charged as disk reads)."""
+        return 0
+
+
+@dataclass
+class BspResult:
+    """Final states plus accounting."""
+
+    states: list
+    supersteps: int
+    cost: JobCost
+    bytes_communicated: float
+
+
+class BspRuntime:
+    """Executes a :class:`BspProgram` to quiescence."""
+
+    EFFECTIVE_CPI = 0.9  # native code: fewer stalls than a JVM stack
+
+    #: mpirun launch + process wire-up, paper-scale seconds per run.
+    JOB_FIXED_SECONDS = 7.0
+
+    def __init__(
+        self,
+        num_ranks: int = None,
+        cluster: ClusterSpec = PAPER_CLUSTER,
+        ctx=None,
+        overhead: FrameworkOverhead = MPI_OVERHEAD,
+        max_supersteps: int = 10_000,
+    ):
+        self.cluster = cluster
+        self.num_ranks = num_ranks or cluster.num_nodes
+        self.ctx = context_or_null(ctx)
+        self.overhead = overhead
+        self.max_supersteps = max_supersteps
+
+    def run(self, program: BspProgram) -> BspResult:
+        ctx = self.ctx
+        cost = JobCost()
+        total_comm = 0.0
+
+        with ctx.code(program.code_profile):
+            instr_before = ctx.events.instructions
+            states = [
+                program.init_rank(rank, self.num_ranks, ctx)
+                for rank in range(self.num_ranks)
+            ]
+            input_bytes = program.input_bytes()
+            ctx.seq_read(f"dfs:{program.name}", input_bytes, elem=64)
+            cost.add(PhaseCost(
+                name="load",
+                cpu_seconds=self._cpu_seconds(ctx.events.instructions - instr_before),
+                disk_read_bytes=input_bytes,
+                working_bytes=input_bytes,
+                fixed_seconds=self.JOB_FIXED_SECONDS,
+            ))
+
+            inboxes = [[] for _ in range(self.num_ranks)]
+            step = 0
+            while step < self.max_supersteps:
+                instr_before = ctx.events.instructions
+                comms = [Communicator(r, self.num_ranks) for r in range(self.num_ranks)]
+                any_active = False
+                for rank in range(self.num_ranks):
+                    active = program.superstep(
+                        step, rank, states[rank], inboxes[rank], comms[rank], ctx
+                    )
+                    any_active = any_active or bool(active)
+
+                # Barrier: deliver all messages for the next superstep.
+                next_inboxes = [[] for _ in range(self.num_ranks)]
+                step_comm = 0.0
+                for comm in comms:
+                    step_comm += comm.bytes_sent
+                    for dst, payloads in comm.drain().items():
+                        next_inboxes[dst].extend(payloads)
+                if step_comm:
+                    # Pack/unpack traffic plus per-message library overhead.
+                    ctx.seq_write("mpi:sendbuf", step_comm)
+                    ctx.seq_read("mpi:recvbuf", step_comm)
+                    ctx.int_ops(0.05 * step_comm)
+                total_comm += step_comm
+
+                cost.add(PhaseCost(
+                    name=f"superstep:{step}",
+                    cpu_seconds=self._cpu_seconds(
+                        ctx.events.instructions - instr_before
+                    ),
+                    shuffle_bytes=step_comm,
+                    working_bytes=step_comm,
+                ))
+
+                inboxes = next_inboxes
+                step += 1
+                if not any_active and not any(next_inboxes):
+                    break
+
+        return BspResult(states=states, supersteps=step, cost=cost,
+                         bytes_communicated=total_comm)
+
+    def _cpu_seconds(self, instructions: float) -> float:
+        machine = self.cluster.node.machine
+        return instructions * self.EFFECTIVE_CPI / machine.freq_hz

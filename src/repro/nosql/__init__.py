@@ -1,0 +1,18 @@
+"""HBase-like NoSQL store: LSM tree with WAL, Bloom filters, compaction."""
+
+from repro.nosql.bloom import BloomFilter
+from repro.nosql.btree import BTreeStore
+from repro.nosql.sstable import BLOCK_SIZE, SSTable, Value
+from repro.nosql.store import LsmStore, StoreConfig, StoreStats, record_stamp
+
+__all__ = [
+    "BLOCK_SIZE",
+    "BTreeStore",
+    "BloomFilter",
+    "LsmStore",
+    "SSTable",
+    "StoreConfig",
+    "StoreStats",
+    "Value",
+    "record_stamp",
+]

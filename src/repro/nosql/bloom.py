@@ -1,0 +1,38 @@
+"""Bloom filter for SSTable membership tests."""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+class BloomFilter:
+    """A classic k-hash Bloom filter over a numpy bit array."""
+
+    def __init__(self, expected_items: int, bits_per_item: int = 10, num_hashes: int = 4):
+        if expected_items <= 0 or bits_per_item <= 0 or num_hashes <= 0:
+            raise ValueError("Bloom parameters must be positive")
+        self.num_bits = max(64, expected_items * bits_per_item)
+        self.num_hashes = num_hashes
+        self._bits = np.zeros(self.num_bits, dtype=bool)
+        self.items_added = 0
+
+    def _positions(self, key: bytes):
+        digest = hashlib.blake2b(key, digest_size=16).digest()
+        h1 = int.from_bytes(digest[:8], "little")
+        h2 = int.from_bytes(digest[8:], "little") | 1
+        for i in range(self.num_hashes):
+            yield (h1 + i * h2) % self.num_bits
+
+    def add(self, key: bytes) -> None:
+        for pos in self._positions(key):
+            self._bits[pos] = True
+        self.items_added += 1
+
+    def might_contain(self, key: bytes) -> bool:
+        return all(self._bits[pos] for pos in self._positions(key))
+
+    @property
+    def nbytes(self) -> int:
+        return self.num_bits // 8

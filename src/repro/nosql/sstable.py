@@ -1,0 +1,70 @@
+"""Immutable sorted string tables (SSTables) with index and Bloom filter."""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.nosql.bloom import BloomFilter
+
+#: Size of one data block; a point read touches one block.
+BLOCK_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class Value:
+    """A stored value: real byte size plus a verifiable stamp."""
+
+    size: int
+    stamp: int
+
+    #: Tombstone marker used by deletes.
+    @staticmethod
+    def tombstone() -> "Value":
+        return Value(size=0, stamp=-1)
+
+    @property
+    def is_tombstone(self) -> bool:
+        return self.stamp == -1
+
+
+class SSTable:
+    """One immutable sorted run of (key, value) pairs."""
+
+    def __init__(self, items: list, generation: int):
+        """``items`` must be (key: bytes, value: Value) pairs sorted by key."""
+        self.generation = generation
+        self.keys = [k for k, _ in items]
+        self.values = [v for _, v in items]
+        if any(self.keys[i] >= self.keys[i + 1] for i in range(len(self.keys) - 1)):
+            raise ValueError("SSTable items must be strictly sorted by key")
+        self.bloom = BloomFilter(max(1, len(self.keys)))
+        for key in self.keys:
+            self.bloom.add(key)
+        self.data_bytes = sum(len(k) + v.size for k, v in items)
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    @property
+    def num_blocks(self) -> int:
+        return max(1, self.data_bytes // BLOCK_SIZE)
+
+    def get(self, key: bytes):
+        """Point lookup; returns the Value or None.
+
+        Callers should consult ``bloom.might_contain`` first (the store
+        does) -- that is where LSM read amplification is saved.
+        """
+        index = bisect.bisect_left(self.keys, key)
+        if index < len(self.keys) and self.keys[index] == key:
+            return self.values[index]
+        return None
+
+    def range_from(self, start_key: bytes, limit: int) -> list:
+        """Up to ``limit`` (key, value) pairs with key >= start_key."""
+        index = bisect.bisect_left(self.keys, start_key)
+        return list(zip(self.keys[index:index + limit], self.values[index:index + limit]))
+
+    def items(self):
+        return zip(self.keys, self.values)

@@ -1,0 +1,20 @@
+"""Online-serving framework: load model, queueing, and the three servers
+(Nutch search, Olio social events, Rubis auctions)."""
+
+from repro.serving.nutch import InvertedIndex, NutchServer
+from repro.serving.olio import OlioServer
+from repro.serving.queueing import QueueingResult, mm_c
+from repro.serving.rubis import RubisServer
+from repro.serving.simulation import Server, ServingResult, ServingSimulation
+
+__all__ = [
+    "InvertedIndex",
+    "NutchServer",
+    "OlioServer",
+    "QueueingResult",
+    "RubisServer",
+    "Server",
+    "ServingResult",
+    "ServingSimulation",
+    "mm_c",
+]

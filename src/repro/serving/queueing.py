@@ -1,0 +1,82 @@
+"""Queueing model for online services: throughput and latency vs load.
+
+Online-service workloads are swept from 100 to 3200 requests/second in
+the paper (Table 6) and measured in RPS plus latency (Section 6.1.2).
+The serving simulation executes a sample of requests to measure the
+per-request service demand, then this M/M/c-style model turns offered
+load into achieved throughput and mean latency: below saturation the
+Sakasegawa approximation for the queueing delay, above saturation a
+capacity-bound throughput with rapidly growing latency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class QueueingResult:
+    """Steady-state behavior at one offered load."""
+
+    offered_rps: float
+    throughput_rps: float
+    mean_latency: float
+    utilization: float
+
+    @property
+    def saturated(self) -> bool:
+        return self.utilization >= 1.0
+
+    def latency_percentile(self, quantile: float) -> float:
+        """Approximate response-time percentile.
+
+        The M/M/c sojourn-time tail is roughly exponential around the
+        mean, so the q-quantile is ``mean * -ln(1 - q)`` -- exact for
+        M/M/1, a standard approximation for M/M/c.
+        """
+        if not 0.0 < quantile < 1.0:
+            raise ValueError("quantile must be in (0, 1)")
+        return self.mean_latency * -math.log(1.0 - quantile)
+
+    @property
+    def p95_latency(self) -> float:
+        return self.latency_percentile(0.95)
+
+    @property
+    def p99_latency(self) -> float:
+        return self.latency_percentile(0.99)
+
+
+def mm_c(offered_rps: float, service_seconds: float, servers: int) -> QueueingResult:
+    """Approximate M/M/c steady state.
+
+    ``service_seconds`` is the mean per-request service demand on one
+    server (core); ``servers`` the number of cores serving the mix.
+    """
+    if offered_rps < 0 or service_seconds <= 0 or servers <= 0:
+        raise ValueError("load, service time, and servers must be positive")
+    capacity = servers / service_seconds
+    rho = offered_rps / capacity
+    if rho < 0.999:
+        # Sakasegawa's approximation for the M/M/c mean queue wait.
+        wait = (
+            service_seconds
+            * (rho ** (math.sqrt(2.0 * (servers + 1.0))))
+            / (servers * (1.0 - rho))
+        )
+        return QueueingResult(
+            offered_rps=offered_rps,
+            throughput_rps=offered_rps,
+            mean_latency=service_seconds + wait,
+            utilization=rho,
+        )
+    # Saturated: throughput pins at capacity; latency grows with the
+    # overload ratio (queue builds during the run).
+    overload = rho
+    return QueueingResult(
+        offered_rps=offered_rps,
+        throughput_rps=capacity,
+        mean_latency=service_seconds * (1.0 + 50.0 * (overload - 0.999) + 5.0),
+        utilization=rho,
+    )

@@ -1,0 +1,148 @@
+"""The serving harness: sample requests, measure demand, model the sweep.
+
+A :class:`Server` owns its backing data and handles one request at a
+time, charging the profiler for everything the request path does.  The
+:class:`ServingSimulation` executes a bounded sample of requests (the
+micro-architectural metrics are ratios, so a sample suffices), derives
+the mean per-request service demand from the charged instructions, and
+feeds the queueing model to produce RPS/latency for any offered load --
+the paper's 100..3200 req/s sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.node import ClusterSpec, SINGLE_NODE
+from repro.serving.queueing import QueueingResult, mm_c
+from repro.uarch.codemodel import SERVER_STACK
+from repro.uarch.perfctx import context_or_null
+
+
+class Server:
+    """Base class for the online-service backends."""
+
+    name = "server"
+    code_profile = SERVER_STACK
+
+    #: Effective CPI of the request path (deep stack, poor locality).
+    effective_cpi = 1.4
+
+    #: Our backing data stands for a ~1000x larger production database;
+    #: DB regions are declared at that scale (DESIGN.md, substitution 3).
+    DB_SCALE = 1000
+
+    #: RAM-hot working set of the database (indexes + buffer pool head).
+    DB_HOT_BYTES = 8 * 1024 * 1024
+
+    #: Short-lived allocation per request (request/response objects,
+    #: string copies, template buffers).  It sweeps a young region bigger
+    #: than L2 but L3-resident: the source of the high L2 MPKI the paper
+    #: measures for online services (avg 40, except Nutch at 4.1).
+    REQUEST_CHURN_BYTES = 5 * 1024 * 1024
+
+    def touch_db(self, ctx, region: str) -> float:
+        """Declare the paper-scale DB region; return its hot fraction."""
+        declared = max(1, self.dataset_bytes() * self.DB_SCALE)
+        ctx.touch(region, declared)
+        return max(1e-7, min(1.0, self.DB_HOT_BYTES / declared))
+
+    def charge_request_churn(self, ctx, requests: int = 1) -> None:
+        """Allocation churn of ``requests`` requests through the young
+        generation (batched by the simulation loop for speed)."""
+        if self.REQUEST_CHURN_BYTES <= 0 or requests <= 0:
+            return
+        nbytes = self.REQUEST_CHURN_BYTES * requests
+        ctx.touch("server:young", 6 * 1024 * 1024)
+        ctx.seq_write("server:young", nbytes, elem=16)
+        ctx.seq_read("server:young", nbytes * 0.6, elem=16)
+
+    def handle(self, rng: np.random.Generator, ctx) -> str:
+        """Serve one request; return the request type served."""
+        raise NotImplementedError
+
+    def dataset_bytes(self) -> int:
+        """Real size of the server's backing data."""
+        raise NotImplementedError
+
+
+@dataclass
+class ServingResult:
+    """Outcome of one serving run at one offered load."""
+
+    server: str
+    offered_rps: float
+    queueing: QueueingResult
+    requests_sampled: int
+    instructions_per_request: float
+    request_mix: dict = field(default_factory=dict)
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.queueing.throughput_rps
+
+    @property
+    def mean_latency(self) -> float:
+        return self.queueing.mean_latency
+
+    @property
+    def mips(self) -> float:
+        """Aggregate MIPS at the achieved throughput (Figure 3-1 metric
+        for service workloads)."""
+        return self.instructions_per_request * self.throughput_rps / 1e6
+
+
+class ServingSimulation:
+    """Runs a server at an offered request rate."""
+
+    def __init__(self, server: Server, cluster: ClusterSpec = SINGLE_NODE,
+                 ctx=None, sample_requests: int = 1500):
+        if sample_requests <= 0:
+            raise ValueError("sample_requests must be positive")
+        self.server = server
+        self.cluster = cluster
+        self.ctx = context_or_null(ctx)
+        self.sample_requests = sample_requests
+
+    def run(self, offered_rps: float, seed: int = 0) -> ServingResult:
+        ctx = self.ctx
+        rng = np.random.default_rng(seed)
+        n_sample = self.sample_requests
+        mix: dict = {}
+        churn_batch = 32
+        instr_before = ctx.events.instructions
+        with ctx.code(self.server.code_profile):
+            for i in range(n_sample):
+                kind = self.server.handle(rng, ctx)
+                mix[kind] = mix.get(kind, 0) + 1
+                if (i + 1) % churn_batch == 0:
+                    self.server.charge_request_churn(ctx, churn_batch)
+            self.server.charge_request_churn(ctx, n_sample % churn_batch)
+        instructions = ctx.events.instructions - instr_before
+        per_request = instructions / n_sample if ctx.profiling else self._fallback_demand()
+        service_seconds = (
+            per_request * self.server.effective_cpi
+            / self.cluster.node.machine.freq_hz
+        )
+        queueing = mm_c(
+            offered_rps, service_seconds,
+            servers=self.cluster.node.cores * self.cluster.num_nodes,
+        )
+        return ServingResult(
+            server=self.server.name,
+            offered_rps=offered_rps,
+            queueing=queueing,
+            requests_sampled=n_sample,
+            instructions_per_request=per_request,
+            request_mix=mix,
+        )
+
+    def sweep(self, rates, seed: int = 0) -> list:
+        """Run the paper's load sweep (e.g. 100 x (1..32) req/s)."""
+        return [self.run(rate, seed=seed) for rate in rates]
+
+    def _fallback_demand(self) -> float:
+        """Per-request instructions when running without a profiler."""
+        return 2_000_000.0

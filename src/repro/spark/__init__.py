@@ -1,0 +1,6 @@
+"""Spark-like in-memory dataflow engine (RDDs with lineage and caching)."""
+
+from repro.spark.context import SparkContext
+from repro.spark.rdd import RDD
+
+__all__ = ["RDD", "SparkContext"]

@@ -1,0 +1,104 @@
+"""SparkContext: driver, source RDDs, and job-cost accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.node import ClusterSpec, PAPER_CLUSTER
+from repro.cluster.timemodel import JobCost, PhaseCost
+from repro.mapreduce.hdfs import DfsFile
+from repro.mapreduce.runtime import FrameworkOverhead, SPARK_OVERHEAD
+from repro.spark.rdd import RDD
+from repro.uarch.codemodel import FRAMEWORK_STACK
+from repro.uarch.perfctx import context_or_null
+
+
+class SparkContext:
+    """Driver for the RDD engine.
+
+    Accumulates the byte volumes of every action into a
+    :class:`~repro.cluster.timemodel.JobCost` so the time model can
+    compare Spark against Hadoop and MPI on the same workload.
+    """
+
+    #: Effective CPI for phase CPU-time estimates (see MapReduceRuntime).
+    EFFECTIVE_CPI = 1.0
+
+    #: Fixed scheduling overhead per action (paper-scale seconds).  Spark
+    #: reuses executors, so this is an order below Hadoop's per-job cost.
+    ACTION_FIXED_SECONDS = 3.0
+
+    def __init__(
+        self,
+        cluster: ClusterSpec = PAPER_CLUSTER,
+        ctx=None,
+        overhead: FrameworkOverhead = SPARK_OVERHEAD,
+        default_parallelism: int = None,
+    ):
+        self.cluster = cluster
+        self.ctx = context_or_null(ctx)
+        self.overhead = overhead
+        self.default_parallelism = default_parallelism or cluster.num_nodes * 2
+        self.cost = JobCost()
+        self._disk_read = 0.0
+        self._shuffle = 0.0
+        self._cache_hits = 0.0
+
+    # -- source RDDs -----------------------------------------------------------
+
+    def parallelize(self, data: np.ndarray, nbytes: int = None,
+                    name: str = "parallelize") -> RDD:
+        """An in-memory source (driver-provided data)."""
+        data = np.asarray(data)
+        parts = np.array_split(data, self.default_parallelism)
+        return RDD(self, source_partitions=parts,
+                   source_nbytes=nbytes if nbytes is not None else data.nbytes,
+                   name=name, from_memory=True)
+
+    def from_dfs(self, file: DfsFile, slicer=None, name: str = None) -> RDD:
+        """A source reading a DFS file (charged as disk input)."""
+        splits = file.splits(slicer)
+        return RDD(self, source_partitions=[s.payload for s in splits],
+                   source_nbytes=file.nbytes, name=name or file.name,
+                   from_memory=False)
+
+    def pair_source(self, keys: np.ndarray, values: np.ndarray, nbytes: int,
+                    name: str = "pairs", from_memory: bool = False) -> RDD:
+        """A source of (key, value) pair partitions."""
+        key_parts = np.array_split(keys, self.default_parallelism)
+        value_parts = np.array_split(values, self.default_parallelism)
+        return RDD(self, source_partitions=list(zip(key_parts, value_parts)),
+                   source_nbytes=nbytes, name=name, from_memory=from_memory)
+
+    # -- accounting --------------------------------------------------------------
+
+    def _materialize(self, rdd: RDD) -> list:
+        instr_before = self.ctx.events.instructions
+        self._disk_read = 0.0
+        self._shuffle = 0.0
+        with self.ctx.code(FRAMEWORK_STACK):
+            result = rdd._compute()
+        instructions = self.ctx.events.instructions - instr_before
+        machine = self.cluster.node.machine
+        self.cost.add(PhaseCost(
+            name=f"action:{rdd.name}",
+            cpu_seconds=instructions * self.EFFECTIVE_CPI / machine.freq_hz,
+            disk_read_bytes=self._disk_read,
+            shuffle_bytes=self._shuffle,
+            working_bytes=self._shuffle,
+            fixed_seconds=self.ACTION_FIXED_SECONDS,
+        ))
+        return result
+
+    def _note_disk_read(self, nbytes: float) -> None:
+        self._disk_read += nbytes
+
+    def _note_shuffle(self, nbytes: float) -> None:
+        self._shuffle += nbytes
+
+    def _note_cache_hit(self, nbytes: float) -> None:
+        self._cache_hits += nbytes
+
+    @property
+    def cache_hit_bytes(self) -> float:
+        return self._cache_hits

@@ -1,0 +1,20 @@
+"""Hive/Impala-like SQL engine for the relational-query workloads."""
+
+from repro.sql.engine import QueryResult, QueryStats, SqlEngine
+from repro.sql.hive_exec import HiveExecutor
+from repro.sql.shark_exec import SharkExecutor
+from repro.sql.operators import Aggregate, Predicate
+from repro.sql.parser import Query, SqlError, parse
+
+__all__ = [
+    "Aggregate",
+    "HiveExecutor",
+    "Predicate",
+    "Query",
+    "QueryResult",
+    "QueryStats",
+    "SharkExecutor",
+    "SqlEngine",
+    "SqlError",
+    "parse",
+]

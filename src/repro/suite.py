@@ -1,0 +1,36 @@
+"""Convenience facade: a shared default harness for quick use.
+
+    from repro import suite
+    outcome = suite.characterize("WordCount")
+    print(outcome.events.l1i_mpki, outcome.result.metric_value)
+"""
+
+from __future__ import annotations
+
+from repro.core.harness import CharacterizationResult, Harness
+from repro.core.registry import workload_names
+
+_DEFAULT = Harness()
+
+
+def characterize(name: str, scale: int = 1, stack: str = None) -> CharacterizationResult:
+    """Profile one workload on the default E5645 testbed."""
+    return _DEFAULT.characterize(name, scale=scale, stack=stack)
+
+
+def sweep(name: str, scales=None, stack: str = None) -> list:
+    """Run the paper's data-volume sweep for one workload."""
+    from repro.core.workload import SCALE_FACTORS
+
+    return _DEFAULT.sweep(name, scales=scales or SCALE_FACTORS, stack=stack)
+
+
+def names() -> list:
+    """The 19 workload names in Table 6 order."""
+    return workload_names()
+
+
+def reset() -> None:
+    """Drop the default harness' memoized runs."""
+    global _DEFAULT
+    _DEFAULT = Harness()

@@ -1,0 +1,65 @@
+"""Micro-architecture simulation substrate.
+
+Replaces the paper's hardware performance counters: a set-associative
+cache/TLB hierarchy (Xeon E5645 and E5310 configurations), an
+instruction-fetch model capturing code-footprint/software-stack depth,
+a CPI model, and the :class:`~repro.uarch.perfctx.PerfContext`
+instrumentation facade the engines are written against.
+"""
+
+from repro.uarch.cache import Cache, CacheConfig
+from repro.uarch.codemodel import (
+    ALL_PROFILES,
+    CodeProfile,
+    DATABASE_STACK,
+    FRAMEWORK_STACK,
+    HPC_KERNEL,
+    MPI_STACK,
+    NOSQL_STACK,
+    PARSEC_KERNEL,
+    SERVER_STACK,
+    SPEC_CODE,
+)
+from repro.uarch.events import PerfEvents, ProfileReport
+from repro.uarch.hierarchy import (
+    MACHINES,
+    MachineConfig,
+    MemorySystem,
+    XEON_E5310,
+    XEON_E5645,
+)
+from repro.uarch.perfctx import (
+    NULL_CONTEXT,
+    NullPerfContext,
+    PerfContext,
+    context_or_null,
+)
+from repro.uarch.tlb import Tlb, TlbConfig
+
+__all__ = [
+    "ALL_PROFILES",
+    "Cache",
+    "CacheConfig",
+    "CodeProfile",
+    "DATABASE_STACK",
+    "FRAMEWORK_STACK",
+    "HPC_KERNEL",
+    "MACHINES",
+    "MPI_STACK",
+    "MachineConfig",
+    "MemorySystem",
+    "NOSQL_STACK",
+    "NULL_CONTEXT",
+    "NullPerfContext",
+    "PARSEC_KERNEL",
+    "PerfContext",
+    "PerfEvents",
+    "ProfileReport",
+    "SERVER_STACK",
+    "SPEC_CODE",
+    "Tlb",
+    "TlbConfig",
+    "XEON_E5310",
+    "XEON_E5645",
+    "context_or_null",
+]

@@ -1,0 +1,141 @@
+"""Set-associative cache model with LRU replacement.
+
+This is the building block of the simulated memory hierarchy that stands
+in for the Xeon E5645 / E5310 hardware counters in the paper's
+characterization study.  The model is deliberately simple -- physical
+indexing, true LRU, no prefetching -- because the reproduction targets the
+paper's *qualitative* cache-behavior findings (relative MPKI orderings and
+working-set effects), not cycle accuracy.
+
+Accesses carry a ``weight``: bulk access patterns are expanded with stride
+sampling (:mod:`repro.uarch.sampling`), so one simulated access may stand
+for many real ones.  Weights affect the statistics only; the replacement
+state is updated once per simulated access.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level.
+
+    ``size_bytes`` must be ``ways * line_size * num_sets`` with a
+    power-of-two number of sets, mirroring real hardware indexing.
+    """
+
+    name: str
+    size_bytes: int
+    ways: int
+    line_size: int = 64
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.ways <= 0 or self.line_size <= 0:
+            raise ValueError(f"{self.name}: sizes and ways must be positive")
+        if not _is_power_of_two(self.line_size):
+            raise ValueError(f"{self.name}: line size must be a power of two")
+        if self.size_bytes % (self.ways * self.line_size) != 0:
+            raise ValueError(
+                f"{self.name}: size {self.size_bytes} is not divisible by "
+                f"ways*line_size = {self.ways * self.line_size}"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.ways * self.line_size)
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_size
+
+    def scaled(self, factor: int) -> "CacheConfig":
+        """A proportionally smaller cache for scaled-down experiments.
+
+        Capacity shrinks by ``factor`` while associativity and line size
+        stay fixed, so working-set-versus-capacity crossovers occur at the
+        same relative data sizes as on the real machine.
+        """
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        min_size = self.ways * self.line_size
+        new_size = max(min_size, self.size_bytes // factor)
+        sets = max(1, new_size // min_size)
+        return CacheConfig(
+            name=self.name,
+            size_bytes=sets * min_size,
+            ways=self.ways,
+            line_size=self.line_size,
+        )
+
+
+class Cache:
+    """One level of set-associative cache with true-LRU replacement."""
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self._num_sets = config.num_sets
+        self._sets = [OrderedDict() for _ in range(config.num_sets)]
+        self.accesses = 0.0
+        self.misses = 0.0
+
+    @property
+    def hits(self) -> float:
+        return self.accesses - self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        if self.accesses <= 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def access(self, line_addr: int, weight: float = 1.0) -> bool:
+        """Touch one cache line; return True on hit, False on miss.
+
+        ``line_addr`` is the address already shifted down by the line
+        size (a line number, not a byte address).
+        """
+        index = line_addr % self._num_sets
+        cache_set = self._sets[index]
+        self.accesses += weight
+        entry_key = line_addr
+        if entry_key in cache_set:
+            cache_set.move_to_end(entry_key)
+            return True
+        self.misses += weight
+        cache_set[entry_key] = True
+        if len(cache_set) > self.config.ways:
+            cache_set.popitem(last=False)
+        return False
+
+    def contains(self, line_addr: int) -> bool:
+        """True if the line is currently resident (no state change)."""
+        return line_addr in self._sets[line_addr % self._num_sets]
+
+    def prime(self, line_addr: int) -> None:
+        """Install a line without counting statistics (warm-up priming,
+        mirroring the paper's post-ramp-up measurement window)."""
+        cache_set = self._sets[line_addr % self._num_sets]
+        cache_set[line_addr] = True
+        if len(cache_set) > self.config.ways:
+            cache_set.popitem(last=False)
+
+    def reset_stats(self) -> None:
+        self.accesses = 0.0
+        self.misses = 0.0
+
+    def flush(self) -> None:
+        """Invalidate all lines and clear statistics."""
+        for cache_set in self._sets:
+            cache_set.clear()
+        self.reset_stats()
+
+    @property
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets)

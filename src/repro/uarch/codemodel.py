@@ -1,0 +1,168 @@
+"""Instruction-fetch model: code footprints and software-stack depth.
+
+The paper attributes the high L1I-cache and ITLB MPKI of big data
+workloads to "the huge code size and deep software stack" (Section 6.3.2).
+This module models exactly that: each executing phase runs under a
+:class:`CodeProfile` describing the shape of its code working set, and the
+profiler synthesizes an instruction-fetch address stream from it:
+
+* **hot** fetches walk sequentially through a small loop body
+  (``hot_bytes``) that fits in a first-level instruction cache;
+* **warm** fetches (``jump_rate`` of all fetches) are calls into the wider
+  set of live functions (``warm_bytes``) -- bigger than L1I but within
+  ITLB reach, the signature of a framework/JVM stack;
+* **cold** fetches (``cold_rate``) land uniformly in the full code
+  footprint (``footprint``) -- third-party libraries, the OS, rarely-taken
+  paths -- and miss both L1I and ITLB.
+
+The preset profiles at the bottom encode the stack families the paper
+runs: tight HPC kernels, SPEC-like codes, multithreaded PARSEC kernels,
+Hadoop/Spark-style frameworks, database engines, and JVM server stacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+KB = 1024
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class CodeProfile:
+    """Shape of one phase's code working set."""
+
+    name: str
+    footprint: int        # total reachable code, real bytes
+    hot_bytes: int        # inner-loop body, real bytes
+    warm_bytes: int       # live call targets, real bytes
+    jump_rate: float      # fraction of fetches that call into warm code
+    cold_rate: float      # fraction of fetches that land anywhere in footprint
+    bytes_per_instr: float = 4.0
+
+    def __post_init__(self) -> None:
+        if not (0 < self.hot_bytes <= self.warm_bytes <= self.footprint):
+            raise ValueError(
+                f"{self.name}: need 0 < hot <= warm <= footprint, got "
+                f"{self.hot_bytes}/{self.warm_bytes}/{self.footprint}"
+            )
+        if not (0.0 <= self.jump_rate < 1.0 and 0.0 <= self.cold_rate < 1.0):
+            raise ValueError(f"{self.name}: rates must be in [0, 1)")
+        if self.jump_rate + self.cold_rate >= 1.0:
+            raise ValueError(f"{self.name}: jump_rate + cold_rate must be < 1")
+
+
+def generate_fetch_addresses(
+    profile: CodeProfile,
+    base: int,
+    contraction: int,
+    count: int,
+    cursor: int,
+    rng: np.random.Generator,
+    step: int = None,
+) -> "tuple[np.ndarray, int]":
+    """Synthesize ``count`` simulated instruction-fetch byte addresses.
+
+    Addresses live in the contracted address space: the code regions are
+    ``profile`` sizes divided by ``contraction``.  ``step`` is how far the
+    sequential hot-loop cursor advances per *simulated* fetch; when each
+    simulated fetch stands for ``w`` real fetches, the caller passes
+    ``w * bytes_per_instr / contraction`` so the contracted cursor tracks
+    the real one.
+
+    Returns the address array and the updated hot-loop cursor.
+    """
+    if count <= 0:
+        return np.empty(0, dtype=np.int64), cursor
+
+    hot_size = max(64, profile.hot_bytes // contraction)
+    warm_size = max(hot_size, profile.warm_bytes // contraction)
+    cold_size = max(warm_size, profile.footprint // contraction)
+    if step is None:
+        step = max(1, int(round(profile.bytes_per_instr)))
+
+    u = rng.random(count)
+    cold_mask = u < profile.cold_rate
+    warm_mask = (~cold_mask) & (u < profile.cold_rate + profile.jump_rate)
+    hot_mask = ~(cold_mask | warm_mask)
+
+    offsets = np.empty(count, dtype=np.int64)
+    n_hot = int(hot_mask.sum())
+    if n_hot:
+        seq = (cursor + step * np.arange(1, n_hot + 1, dtype=np.int64)) % hot_size
+        offsets[hot_mask] = seq
+        cursor = int(seq[-1])
+    n_warm = int(warm_mask.sum())
+    if n_warm:
+        offsets[warm_mask] = rng.integers(0, warm_size, size=n_warm, dtype=np.int64)
+    n_cold = int(cold_mask.sum())
+    if n_cold:
+        offsets[cold_mask] = rng.integers(0, cold_size, size=n_cold, dtype=np.int64)
+
+    return base + offsets, cursor
+
+
+# ---------------------------------------------------------------------------
+# Preset profiles for the software stacks the paper exercises.
+# ---------------------------------------------------------------------------
+
+#: Tight numeric kernels (HPCC: HPL, STREAM, DGEMM, ...).  Nearly all
+#: fetches stay in a small loop; L1I MPKI ~0.3 in the paper.
+HPC_KERNEL = CodeProfile(
+    "hpc-kernel", footprint=64 * KB, hot_bytes=8 * KB, warm_bytes=24 * KB,
+    jump_rate=0.0004, cold_rate=0.00002,
+)
+
+#: Multithreaded PARSEC-like kernels; slightly larger code, some runtime
+#: library traffic (paper L1I MPKI ~2.9).
+PARSEC_KERNEL = CodeProfile(
+    "parsec-kernel", footprint=384 * KB, hot_bytes=16 * KB, warm_bytes=96 * KB,
+    jump_rate=0.003, cold_rate=0.0001,
+)
+
+#: SPEC CPU-like single-threaded codes (paper L1I MPKI ~3-5).
+SPEC_CODE = CodeProfile(
+    "spec-code", footprint=768 * KB, hot_bytes=20 * KB, warm_bytes=128 * KB,
+    jump_rate=0.0045, cold_rate=0.0002,
+)
+
+#: Analytics framework stack (Hadoop MapReduce / Spark on a JVM):
+#: big code, deep call chains (paper: analytics L1I MPKI ~13-25).
+FRAMEWORK_STACK = CodeProfile(
+    "framework-stack", footprint=2 * MB, hot_bytes=24 * KB, warm_bytes=256 * KB,
+    jump_rate=0.018, cold_rate=0.00045,
+)
+
+#: Database / query-engine stack (Hive, Impala, MySQL executors).
+DATABASE_STACK = CodeProfile(
+    "database-stack", footprint=1536 * KB, hot_bytes=24 * KB, warm_bytes=192 * KB,
+    jump_rate=0.015, cold_rate=0.0004,
+)
+
+#: Online-service stack (app server + JVM + OS network path): the deepest
+#: stack in the suite (paper: online services have the highest L1I/L2 MPKI).
+SERVER_STACK = CodeProfile(
+    "server-stack", footprint=4 * MB, hot_bytes=28 * KB, warm_bytes=384 * KB,
+    jump_rate=0.019, cold_rate=0.0006,
+)
+
+#: NoSQL store stack (HBase-like): framework-deep but with a hotter
+#: read/write path than a full app server.
+NOSQL_STACK = CodeProfile(
+    "nosql-stack", footprint=3 * MB, hot_bytes=24 * KB, warm_bytes=320 * KB,
+    jump_rate=0.017, cold_rate=0.0005,
+)
+
+#: MPI-based analytics: native code, much shallower than a JVM framework,
+#: but bigger than a pure kernel (communication library).
+MPI_STACK = CodeProfile(
+    "mpi-stack", footprint=512 * KB, hot_bytes=16 * KB, warm_bytes=96 * KB,
+    jump_rate=0.006, cold_rate=0.0002,
+)
+
+ALL_PROFILES = (
+    HPC_KERNEL, PARSEC_KERNEL, SPEC_CODE, FRAMEWORK_STACK,
+    DATABASE_STACK, SERVER_STACK, NOSQL_STACK, MPI_STACK,
+)

@@ -1,0 +1,65 @@
+"""CPI model: turn event counts into cycles, seconds, and MIPS.
+
+The paper reports MIPS (Figure 3-1) from hardware counters; we model it
+with a classic stall-accounting CPI decomposition:
+
+    cycles = instructions * base_cpi
+           + (L1D misses + L1I misses) * L2 latency
+           + L2 misses * (L3 latency | memory latency)
+           + L3 misses * memory latency
+           + (ITLB + DTLB misses) * page-walk latency
+
+Out-of-order overlap is approximated by the overlap factor: only a
+fraction of each miss's latency is exposed as a stall.  The paper notes
+L1D miss penalties are largely hidden by the pipeline (Section 6.3.2),
+which is why the L1D contribution uses a much smaller exposed fraction.
+"""
+
+from __future__ import annotations
+
+from repro.uarch.events import PerfEvents, ProfileReport
+from repro.uarch.hierarchy import MachineConfig
+
+#: Fraction of each miss latency exposed as stall cycles (the rest is
+#: overlapped by the out-of-order core).
+L1D_EXPOSED = 0.15
+L1I_EXPOSED = 0.85
+L2_EXPOSED = 0.55
+L3_EXPOSED = 0.75
+TLB_EXPOSED = 0.80
+
+
+def stall_cycles(events: PerfEvents, machine: MachineConfig) -> float:
+    """Exposed stall cycles implied by the miss counts."""
+    l2_fill_latency = machine.l3_latency if machine.l3 is not None else machine.mem_latency
+    cycles = events.l1d_misses * machine.l2_latency * L1D_EXPOSED
+    cycles += events.l1i_misses * machine.l2_latency * L1I_EXPOSED
+    cycles += events.l2_misses * l2_fill_latency * L2_EXPOSED
+    if machine.l3 is not None:
+        cycles += events.l3_misses * machine.mem_latency * L3_EXPOSED
+    cycles += (events.itlb_misses + events.dtlb_misses) * machine.tlb_walk_latency * TLB_EXPOSED
+    return cycles
+
+
+def finalize(
+    events: PerfEvents,
+    machine: MachineConfig,
+    cores_used: int = 1,
+    metadata: dict = None,
+) -> ProfileReport:
+    """Produce the run's :class:`ProfileReport` from its event counts.
+
+    ``cores_used`` spreads the instruction stream over that many cores;
+    MIPS therefore reports aggregate throughput, matching the paper's
+    cluster-level Figure 3-1 presentation.
+    """
+    if cores_used <= 0:
+        raise ValueError("cores_used must be positive")
+    cycles = events.instructions * machine.base_cpi + stall_cycles(events, machine)
+    seconds = cycles / machine.freq_hz / cores_used
+    return ProfileReport(
+        events=events,
+        cycles=cycles,
+        seconds=seconds,
+        metadata=dict(metadata or {}),
+    )

@@ -1,0 +1,160 @@
+"""Performance-event counters and derived micro-architecture metrics.
+
+The paper characterizes workloads with hardware performance counters
+collected by Linux ``perf`` (Section 6.1.1).  This module is the software
+stand-in: a plain counter record that the simulated memory hierarchy and
+the instrumented engines update, plus the derived metrics the paper
+reports -- MPKI, instruction-mix fractions, and operation intensity
+(instructions per byte of memory traffic, Section 6.3.1).
+
+Counts are floats because bulk memory-access patterns are expanded with
+stride sampling (see :mod:`repro.uarch.sampling`): each simulated access
+carries a weight equal to the number of real accesses it represents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class PerfEvents:
+    """Raw event counts for one profiled run.
+
+    Instruction counts follow the paper's Figure 4 breakdown: loads,
+    stores, branches, integer and floating-point instructions.  Cache and
+    TLB events follow Figure 6.  ``mem_bytes`` is the total number of
+    bytes of memory accesses, the denominator of operation intensity.
+    """
+
+    # Instruction breakdown (Figure 4).
+    loads: float = 0.0
+    stores: float = 0.0
+    branches: float = 0.0
+    int_ops: float = 0.0
+    fp_ops: float = 0.0
+
+    # Memory traffic in bytes (denominator of operation intensity).
+    mem_bytes: float = 0.0
+
+    # Cache events (Figure 6-1).
+    l1i_accesses: float = 0.0
+    l1i_misses: float = 0.0
+    l1d_accesses: float = 0.0
+    l1d_misses: float = 0.0
+    l2_accesses: float = 0.0
+    l2_misses: float = 0.0
+    l3_accesses: float = 0.0
+    l3_misses: float = 0.0
+
+    # TLB events (Figure 6-2).
+    itlb_accesses: float = 0.0
+    itlb_misses: float = 0.0
+    dtlb_accesses: float = 0.0
+    dtlb_misses: float = 0.0
+
+    @property
+    def instructions(self) -> float:
+        """Total retired instructions across all classes."""
+        return self.loads + self.stores + self.branches + self.int_ops + self.fp_ops
+
+    def mpki(self, misses: float) -> float:
+        """Misses per kilo-instruction for an arbitrary miss count."""
+        instructions = self.instructions
+        if instructions <= 0:
+            return 0.0
+        return 1000.0 * misses / instructions
+
+    @property
+    def l1i_mpki(self) -> float:
+        return self.mpki(self.l1i_misses)
+
+    @property
+    def l1d_mpki(self) -> float:
+        return self.mpki(self.l1d_misses)
+
+    @property
+    def l2_mpki(self) -> float:
+        return self.mpki(self.l2_misses)
+
+    @property
+    def l3_mpki(self) -> float:
+        return self.mpki(self.l3_misses)
+
+    @property
+    def itlb_mpki(self) -> float:
+        return self.mpki(self.itlb_misses)
+
+    @property
+    def dtlb_mpki(self) -> float:
+        return self.mpki(self.dtlb_misses)
+
+    @property
+    def fp_intensity(self) -> float:
+        """Floating-point operation intensity (FP instructions per byte).
+
+        Defined in Section 6.3.1 as the total number of floating point
+        instructions divided by the total number of memory-access bytes.
+        """
+        if self.mem_bytes <= 0:
+            return 0.0
+        return self.fp_ops / self.mem_bytes
+
+    @property
+    def int_intensity(self) -> float:
+        """Integer operation intensity (integer instructions per byte)."""
+        if self.mem_bytes <= 0:
+            return 0.0
+        return self.int_ops / self.mem_bytes
+
+    @property
+    def int_fp_ratio(self) -> float:
+        """Ratio of integer to floating-point instructions (Figure 4)."""
+        if self.fp_ops <= 0:
+            return float("inf") if self.int_ops > 0 else 0.0
+        return self.int_ops / self.fp_ops
+
+    def instruction_mix(self) -> dict:
+        """Fractions of each instruction class, summing to 1 (Figure 4)."""
+        total = self.instructions
+        if total <= 0:
+            return {"load": 0.0, "store": 0.0, "branch": 0.0, "int": 0.0, "fp": 0.0}
+        return {
+            "load": self.loads / total,
+            "store": self.stores / total,
+            "branch": self.branches / total,
+            "int": self.int_ops / total,
+            "fp": self.fp_ops / total,
+        }
+
+    def merge(self, other: "PerfEvents") -> "PerfEvents":
+        """Return a new record with the element-wise sum of both."""
+        merged = PerfEvents()
+        for f in fields(PerfEvents):
+            setattr(merged, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return merged
+
+    def copy(self) -> "PerfEvents":
+        return PerfEvents().merge(self)
+
+
+@dataclass
+class ProfileReport:
+    """A profiled run: raw events plus the modeled execution time.
+
+    ``cycles`` and ``seconds`` come from the CPI model in
+    :mod:`repro.uarch.cpu`; ``mips`` is the paper's Figure 3-1 metric.
+    """
+
+    events: PerfEvents
+    cycles: float = 0.0
+    seconds: float = 0.0
+
+    @property
+    def mips(self) -> float:
+        """Million instructions per second over the modeled run time."""
+        if self.seconds <= 0:
+            return 0.0
+        return self.events.instructions / self.seconds / 1e6
+
+    metadata: dict = field(default_factory=dict)

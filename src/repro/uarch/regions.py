@@ -1,0 +1,90 @@
+"""Named address regions for the simulated address space.
+
+Workloads and engines do not track byte-exact pointers; instead they
+declare *regions* -- named working sets with a size -- and describe their
+access patterns against them (sequential scans, random probes, strided
+walks).  The profiler lays regions out in a contracted simulated address
+space (see :mod:`repro.uarch.sampling`) and turns patterns into cache-line
+addresses.
+
+Region sizes are declared in *real* bytes; the address space stores the
+contracted size used for simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Region:
+    """One named working set in the simulated address space."""
+
+    name: str
+    base: int
+    size: int          # contracted (simulated) size in bytes, >= 1 line
+    real_size: int     # the size the workload declared, in real bytes
+
+    # A per-region sequential cursor so repeated partial scans continue
+    # where the previous one stopped, approximating streaming behavior.
+    cursor: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"region {self.name!r} must have positive size")
+
+    def grow(self, new_real_size: int, contraction: int, line_size: int) -> None:
+        """Grow a region in place (e.g. an append-only store getting bigger).
+
+        Regions are laid out in fixed, far-apart slots, so in-place growth
+        never overlaps a neighbor (the slot size bounds any realistic
+        working set by orders of magnitude).
+        """
+        if new_real_size < self.real_size:
+            return
+        self.real_size = new_real_size
+        self.size = max(line_size, new_real_size // contraction)
+
+
+class AddressSpace:
+    """Slot allocator handing out well-separated regions.
+
+    Each region occupies its own fixed-size slot (``_SLOT`` bytes of
+    simulated address space), so regions can grow in place without ever
+    overlapping.  Addresses stay well inside the int64 range that the
+    vectorized address generators use.
+    """
+
+    #: Per-region slot: 16 TiB of simulated address space.
+    _SLOT = 1 << 44
+
+    def __init__(self, contraction: int = 16, line_size: int = 64):
+        if contraction <= 0:
+            raise ValueError("contraction must be positive")
+        self.contraction = contraction
+        self.line_size = line_size
+        self._regions: dict = {}
+
+    def region(self, name: str, real_size: int) -> Region:
+        """Get or create the region ``name``, growing it to ``real_size``."""
+        existing = self._regions.get(name)
+        if existing is not None:
+            existing.grow(real_size, self.contraction, self.line_size)
+            return existing
+        size = max(self.line_size, real_size // self.contraction)
+        base = (1 << 30) + len(self._regions) * self._SLOT
+        region = Region(name=name, base=base, size=size, real_size=max(1, real_size))
+        self._regions[name] = region
+        return region
+
+    def get(self, name: str) -> Region:
+        try:
+            return self._regions[name]
+        except KeyError:
+            raise KeyError(f"unknown region {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._regions
+
+    def __len__(self) -> int:
+        return len(self._regions)

@@ -1,0 +1,80 @@
+"""TLB model: a small fully-associative LRU translation cache.
+
+Drives the ITLB/DTLB MPKI results of the paper's Figure 6-2.  Pages are
+fixed-size (4 KB by default, matching the testbed's Linux configuration);
+an access translates a byte address to a page number and looks it up.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TlbConfig:
+    """Geometry of one TLB: entry count and page size."""
+
+    name: str
+    entries: int
+    page_size: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.entries <= 0:
+            raise ValueError(f"{self.name}: TLB must have at least one entry")
+        if self.page_size <= 0 or self.page_size & (self.page_size - 1):
+            raise ValueError(f"{self.name}: page size must be a power of two")
+
+    def scaled(self, factor: int) -> "TlbConfig":
+        """A proportionally smaller TLB for scaled-down experiments."""
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return TlbConfig(
+            name=self.name,
+            entries=max(4, self.entries // factor),
+            page_size=self.page_size,
+        )
+
+
+class Tlb:
+    """Fully-associative LRU TLB."""
+
+    def __init__(self, config: TlbConfig):
+        self.config = config
+        self._page_bits = config.page_size.bit_length() - 1
+        self._entries = OrderedDict()
+        self.accesses = 0.0
+        self.misses = 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        if self.accesses <= 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def access(self, addr: int, weight: float = 1.0) -> bool:
+        """Translate one byte address; return True on TLB hit."""
+        page = addr >> self._page_bits
+        self.accesses += weight
+        if page in self._entries:
+            self._entries.move_to_end(page)
+            return True
+        self.misses += weight
+        self._entries[page] = True
+        if len(self._entries) > self.config.entries:
+            self._entries.popitem(last=False)
+        return False
+
+    def prime(self, addr: int) -> None:
+        """Install a translation without counting statistics."""
+        self._entries[addr >> self._page_bits] = True
+        if len(self._entries) > self.config.entries:
+            self._entries.popitem(last=False)
+
+    def reset_stats(self) -> None:
+        self.accesses = 0.0
+        self.misses = 0.0
+
+    def flush(self) -> None:
+        self._entries.clear()
+        self.reset_stats()

@@ -1,0 +1,47 @@
+"""The 19 BigDataBench workloads (paper Table 4)."""
+
+from repro.workloads.bfs import BfsWorkload
+from repro.workloads.cloudoltp import ReadWorkload, ScanWorkload, WriteWorkload
+from repro.workloads.ecommerce import (
+    CollaborativeFilteringWorkload,
+    NaiveBayesWorkload,
+    RubisServerWorkload,
+)
+from repro.workloads.micro import GrepWorkload, SortWorkload, WordCountWorkload
+from repro.workloads.queries import (
+    AggregateQueryWorkload,
+    JoinQueryWorkload,
+    SelectQueryWorkload,
+)
+from repro.workloads.search import (
+    IndexWorkload,
+    NutchServerWorkload,
+    PageRankWorkload,
+)
+from repro.workloads.social import (
+    ConnectedComponentsWorkload,
+    KmeansWorkload,
+    OlioServerWorkload,
+)
+
+__all__ = [
+    "AggregateQueryWorkload",
+    "BfsWorkload",
+    "CollaborativeFilteringWorkload",
+    "ConnectedComponentsWorkload",
+    "GrepWorkload",
+    "IndexWorkload",
+    "JoinQueryWorkload",
+    "KmeansWorkload",
+    "NaiveBayesWorkload",
+    "NutchServerWorkload",
+    "OlioServerWorkload",
+    "PageRankWorkload",
+    "ReadWorkload",
+    "RubisServerWorkload",
+    "ScanWorkload",
+    "SelectQueryWorkload",
+    "SortWorkload",
+    "WordCountWorkload",
+    "WriteWorkload",
+]

@@ -1,0 +1,133 @@
+"""Input preparation: BDGS wiring shared by the 19 workloads.
+
+Each helper estimates a model from the corresponding Table 2 seed once
+(cached) and generates scaled synthetic inputs on demand -- the exact
+estimate-then-generate pipeline of Section 5.  Baseline sizes are the
+paper's Table 6 baselines shrunk by a constant factor (DESIGN.md,
+substitution 3); the 1x..32x sweep geometry is preserved.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.datagen.graph import Graph, KroneckerModel
+from repro.datagen.seeds import (
+    amazon_movie_reviews,
+    ecommerce_transactions,
+    facebook_social_graph,
+    google_web_graph,
+    profsearch_resumes,
+    wikipedia_entries,
+)
+from repro.datagen.table import (
+    ECommerceData,
+    ECommerceModel,
+    ResumeModel,
+    ResumeSet,
+    ReviewModel,
+    ReviewSet,
+)
+from repro.datagen.text import TextCorpus, TextModel
+
+MB = 1024 * 1024
+
+#: Baseline text volume: stands for the paper's 32 GB (shrunk 8192x).
+BASE_TEXT_BYTES = 4 * MB
+
+#: Baseline page count for Index/PageRank: stands for 10^6 pages.
+BASE_PAGES = 2048
+
+#: Baseline vertex count (log2) for BFS/CC/CF: stands for 2^15 vertices.
+BASE_GRAPH_LOG2 = 13
+
+#: Baseline request rate for service workloads (paper: 100 req/s).
+BASE_RPS = 100
+
+#: Baseline Cloud OLTP data volume: stands for 32 GB of records.
+BASE_STORE_BYTES = 2 * MB
+
+#: Baseline order count for the relational queries.
+BASE_ORDERS = 4000
+
+
+@lru_cache(maxsize=1)
+def text_model() -> TextModel:
+    return TextModel.estimate(wikipedia_entries(num_docs=1500))
+
+
+def text_input(scale: int, seed: int = 0) -> TextCorpus:
+    """Scaled Wikipedia-like corpus (~``scale`` x 4 MB)."""
+    rng = np.random.default_rng(1000 + seed)
+    return text_model().generate_bytes(BASE_TEXT_BYTES * scale, rng)
+
+
+def pages_input(scale: int, seed: int = 0) -> TextCorpus:
+    """Corpus with a fixed number of pages (Index/Nutch geometry)."""
+    rng = np.random.default_rng(2000 + seed)
+    return text_model().generate(BASE_PAGES * scale, rng)
+
+
+@lru_cache(maxsize=1)
+def web_graph_model() -> KroneckerModel:
+    return KroneckerModel.estimate(google_web_graph(num_nodes=4096), iterations=12)
+
+
+def web_graph_input(scale: int, seed: int = 0) -> Graph:
+    """Scaled directed web graph: 2^12 baseline nodes, x4 per doubling."""
+    extra = max(0, int(round(np.log2(scale))))
+    model = web_graph_model().scaled(extra)
+    return model.generate(np.random.default_rng(3000 + seed))
+
+
+@lru_cache(maxsize=1)
+def social_graph_model() -> KroneckerModel:
+    return KroneckerModel.estimate(
+        facebook_social_graph(num_nodes=4039), iterations=BASE_GRAPH_LOG2
+    )
+
+
+def social_graph_input(scale: int, seed: int = 0) -> Graph:
+    """Scaled undirected social graph: 2^12 baseline vertices."""
+    extra = max(0, int(round(np.log2(scale))))
+    model = social_graph_model().scaled(extra)
+    graph = model.generate(np.random.default_rng(4000 + seed), directed=False)
+    return graph
+
+
+@lru_cache(maxsize=1)
+def review_model() -> ReviewModel:
+    return ReviewModel.estimate(amazon_movie_reviews(num_reviews=3000))
+
+
+def reviews_input(scale: int, seed: int = 0, base_reviews: int = 3000) -> ReviewSet:
+    """Scaled Amazon-like review set."""
+    rng = np.random.default_rng(5000 + seed)
+    return review_model().generate(base_reviews * scale, rng)
+
+
+@lru_cache(maxsize=1)
+def ecommerce_model() -> ECommerceModel:
+    return ECommerceModel.estimate(ecommerce_transactions())
+
+
+def ecommerce_input(scale: int, seed: int = 0) -> ECommerceData:
+    """Scaled ORDER/ITEM transaction tables."""
+    rng = np.random.default_rng(6000 + seed)
+    return ecommerce_model().generate(BASE_ORDERS * scale, rng)
+
+
+@lru_cache(maxsize=1)
+def resume_model() -> ResumeModel:
+    return ResumeModel.estimate(profsearch_resumes())
+
+
+def resumes_input(scale: int, seed: int = 0) -> ResumeSet:
+    """Scaled resume corpus sized to ~``scale`` x BASE_STORE_BYTES."""
+    rng = np.random.default_rng(7000 + seed)
+    probe = resume_model().generate(256, rng)
+    avg = max(64.0, probe.value_sizes.mean())
+    count = max(64, int(BASE_STORE_BYTES * scale / avg))
+    return resume_model().generate(count, rng)

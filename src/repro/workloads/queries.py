@@ -1,0 +1,188 @@
+"""Relational query workloads: Select, Aggregate, Join (Table 4, 8-10).
+
+Realtime analytics over the structured e-commerce transaction data
+(Table 3 schema), executed on the Hive/Impala-like SQL engine and
+verified against direct numpy references.  The metric is DPS over the
+scanned input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.node import ClusterSpec, PAPER_CLUSTER
+from repro.core.workload import (
+    DPS,
+    REALTIME,
+    Workload,
+    WorkloadInfo,
+    WorkloadInput,
+    WorkloadResult,
+)
+from repro.sql import HiveExecutor, SharkExecutor, SqlEngine
+from repro.uarch.perfctx import context_or_null
+from repro.workloads import inputs
+
+QUERY_STACKS = ("Impala", "MySQL", "Hive", "Shark")
+
+
+class _QueryWorkload(Workload):
+    """Shared preparation: scaled ORDER/ITEM tables."""
+
+    default_stack = "hive"
+
+    #: Realtime analytics serve a query stream; repeating the query both
+    #: reflects that and amortizes cache warm-up out of the measurement.
+    REPETITIONS = 8
+
+    def _execute_repeated(self, engine, sql):
+        """Run the query REPETITIONS times; return (last result, cost)."""
+        from repro.cluster.timemodel import JobCost
+
+        result = None
+        cost = JobCost()
+        total_bytes = 0.0
+        for _ in range(self.REPETITIONS):
+            result = engine.execute(sql)
+            cost.phases.extend(result.cost.phases)
+            total_bytes += result.stats.input_bytes
+        return result, cost, total_bytes
+
+    def prepare(self, scale: int, seed: int = 0) -> WorkloadInput:
+        self.check_scale(scale)
+        data = inputs.ecommerce_input(scale, seed)
+        return WorkloadInput(
+            payload=data, nbytes=data.nbytes, scale=scale,
+            details={"orders": data.orders.num_rows,
+                     "items": data.items.num_rows},
+        )
+
+    def _engine(self, data, ctx, stack: str):
+        """Pick the execution family for the requested stack (Table 4):
+        Hive compiles to MapReduce jobs, Shark to Spark stages, and
+        Impala/MySQL execute on the in-process columnar engine."""
+        if stack == "hive":
+            engine = HiveExecutor(ctx=ctx)
+        elif stack == "shark":
+            engine = SharkExecutor(ctx=ctx)
+        else:
+            engine = SqlEngine(ctx=ctx)
+        engine.register("ORDERS", data.orders, data.orders.nbytes)
+        engine.register("ITEMS", data.items, data.items.nbytes)
+        return engine
+
+    def _result(self, prepared, stack, query_result, cost, total_bytes,
+                cluster, details) -> WorkloadResult:
+        return WorkloadResult(
+            workload=self.info.name, stack=stack, scale=prepared.scale,
+            input_bytes=total_bytes,
+            cost=cost,
+            metric_name=DPS,
+            metric_value=self.dps(total_bytes, cost, cluster),
+            details=details,
+        )
+
+
+class SelectQueryWorkload(_QueryWorkload):
+    """Workload 8: filtered projection over ORDERS."""
+
+    info = WorkloadInfo(
+        name="Select Query", scenario="Relational Query", app_type=REALTIME,
+        data_type="structured", data_source="table",
+        stacks=QUERY_STACKS, metric=DPS,
+        input_description="32 x (1..32) GB data", workload_id=8,
+    )
+
+    def run(self, prepared, ctx=None, cluster: ClusterSpec = PAPER_CLUSTER,
+            stack: str = None) -> WorkloadResult:
+        stack = self.check_stack(stack)
+        ctx = context_or_null(ctx)
+        data = prepared.payload
+        threshold = int(np.median(data.orders.column("BUYER_ID")))
+        engine = self._engine(data, ctx, stack)
+        result, cost, total_bytes = self._execute_repeated(
+            engine,
+            f"SELECT ORDER_ID, BUYER_ID FROM ORDERS WHERE BUYER_ID < {threshold}",
+        )
+        expected = int((data.orders.column("BUYER_ID") < threshold).sum())
+        return self._result(prepared, stack, result, cost, total_bytes, cluster, {
+            "rows": result.num_rows,
+            "expected": expected,
+            "correct": result.num_rows == expected,
+        })
+
+
+class AggregateQueryWorkload(_QueryWorkload):
+    """Workload 9: revenue per goods id (GROUP BY + SUM)."""
+
+    info = WorkloadInfo(
+        name="Aggregate Query", scenario="Relational Query",
+        app_type=REALTIME, data_type="structured", data_source="table",
+        stacks=QUERY_STACKS, metric=DPS,
+        input_description="32 x (1..32) GB data", workload_id=9,
+    )
+
+    def run(self, prepared, ctx=None, cluster: ClusterSpec = PAPER_CLUSTER,
+            stack: str = None) -> WorkloadResult:
+        stack = self.check_stack(stack)
+        ctx = context_or_null(ctx)
+        data = prepared.payload
+        engine = self._engine(data, ctx, stack)
+        result, cost, total_bytes = self._execute_repeated(
+            engine,
+            "SELECT GOODS_ID, SUM(GOODS_AMOUNT) AS revenue, COUNT(*) AS n "
+            "FROM ITEMS GROUP BY GOODS_ID",
+        )
+        # Reference: numpy groupby.
+        goods = data.items.column("GOODS_ID")
+        amounts = data.items.column("GOODS_AMOUNT")
+        expected_total = float(amounts.sum())
+        got_total = float(result.table.column("revenue").sum())
+        return self._result(prepared, stack, result, cost, total_bytes, cluster, {
+            "groups": result.num_rows,
+            "expected_groups": int(len(np.unique(goods))),
+            "correct": (
+                result.num_rows == len(np.unique(goods))
+                and abs(got_total - expected_total) < 1e-6 * max(1.0, expected_total)
+            ),
+        })
+
+
+class JoinQueryWorkload(_QueryWorkload):
+    """Workload 10: per-buyer spend (JOIN + GROUP BY)."""
+
+    info = WorkloadInfo(
+        name="Join Query", scenario="Relational Query", app_type=REALTIME,
+        data_type="structured", data_source="table",
+        stacks=QUERY_STACKS, metric=DPS,
+        input_description="32 x (1..32) GB data", workload_id=10,
+    )
+
+    def run(self, prepared, ctx=None, cluster: ClusterSpec = PAPER_CLUSTER,
+            stack: str = None) -> WorkloadResult:
+        stack = self.check_stack(stack)
+        ctx = context_or_null(ctx)
+        data = prepared.payload
+        engine = self._engine(data, ctx, stack)
+        result, cost, total_bytes = self._execute_repeated(
+            engine,
+            "SELECT o.BUYER_ID, SUM(i.GOODS_AMOUNT) AS spend FROM ORDERS o "
+            "JOIN ITEMS i ON o.ORDER_ID = i.ORDER_ID GROUP BY o.BUYER_ID",
+        )
+        # Reference: map ORDER_ID -> BUYER_ID, then group amounts by buyer.
+        order_ids = data.orders.column("ORDER_ID")
+        buyers = data.orders.column("BUYER_ID")
+        buyer_of = dict(zip(order_ids.tolist(), buyers.tolist()))
+        item_buyers = np.array(
+            [buyer_of[o] for o in data.items.column("ORDER_ID").tolist()]
+        )
+        expected_total = float(data.items.column("GOODS_AMOUNT").sum())
+        got_total = float(result.table.column("spend").sum())
+        return self._result(prepared, stack, result, cost, total_bytes, cluster, {
+            "buyers": result.num_rows,
+            "expected_buyers": int(len(np.unique(item_buyers))),
+            "correct": (
+                result.num_rows == len(np.unique(item_buyers))
+                and abs(got_total - expected_total) < 1e-6 * max(1.0, expected_total)
+            ),
+        })

@@ -1,0 +1,362 @@
+"""Search-engine workloads: Nutch Server, Index, PageRank (Table 4).
+
+The search-engine application domain contributes one online service
+(Nutch-like query serving, swept by request rate) and two offline
+analytics jobs over pages and the web graph (Index and PageRank, swept
+by page count -- Table 6 rows 11-13).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.node import ClusterSpec, PAPER_CLUSTER
+from repro.cluster.timemodel import JobCost
+from repro.core.workload import (
+    DPS,
+    OFFLINE,
+    ONLINE,
+    RPS,
+    Workload,
+    WorkloadInfo,
+    WorkloadInput,
+    WorkloadResult,
+)
+from repro.mapreduce import Dfs, MapReduceJob, MapReduceRuntime, OpCost
+from repro.mpi import BspProgram, BspRuntime
+from repro.serving import NutchServer, ServingSimulation
+from repro.spark import SparkContext
+from repro.uarch.perfctx import context_or_null
+from repro.workloads import inputs
+
+
+# ---------------------------------------------------------------------------
+# Nutch Server (workload 11)
+# ---------------------------------------------------------------------------
+
+class NutchServerWorkload(Workload):
+    """Online search serving; load swept 100 x (1..32) req/s."""
+
+    info = WorkloadInfo(
+        name="Nutch Server", scenario="Search Engine", app_type=ONLINE,
+        data_type="unstructured", data_source="text",
+        stacks=("Hadoop",), metric=RPS,
+        input_description="100 x (1..32) req/s", workload_id=11,
+    )
+
+    #: Fixed index size (the sweep varies request rate, not data).
+    INDEX_PAGES_SCALE = 2
+
+    def prepare(self, scale: int, seed: int = 0) -> WorkloadInput:
+        self.check_scale(scale)
+        corpus = inputs.pages_input(self.INDEX_PAGES_SCALE, seed)
+        server = NutchServer(corpus)
+        return WorkloadInput(
+            payload=server, nbytes=server.dataset_bytes(), scale=scale,
+            details={"rate_rps": inputs.BASE_RPS * scale,
+                     "pages": corpus.num_docs},
+        )
+
+    def run(self, prepared, ctx=None, cluster: ClusterSpec = PAPER_CLUSTER,
+            stack: str = None) -> WorkloadResult:
+        stack = self.check_stack(stack)
+        from repro.cluster.node import SINGLE_NODE
+
+        # The service tier is one front-end node (load sweeps must be able
+        # to saturate it, as in the paper's 100..3200 req/s geometry).
+        sim = ServingSimulation(prepared.payload, cluster=SINGLE_NODE, ctx=ctx,
+                                sample_requests=600)
+        outcome = sim.run(prepared.details["rate_rps"])
+        return WorkloadResult(
+            workload=self.info.name, stack=stack, scale=prepared.scale,
+            input_bytes=prepared.nbytes, cost=JobCost(),
+            metric_name=RPS, metric_value=outcome.throughput_rps,
+            details={"latency_s": outcome.mean_latency,
+                     "utilization": outcome.queueing.utilization,
+                     "mips": outcome.mips,
+                     "instructions_per_request": outcome.instructions_per_request},
+        )
+
+
+# ---------------------------------------------------------------------------
+# Index (workload 13)
+# ---------------------------------------------------------------------------
+
+class _IndexJob(MapReduceJob):
+    """Build an inverted index: (word, doc) pairs grouped into postings."""
+
+    name = "index"
+    map_cost = OpCost(int_ops=42, branch_ops=12, rand_writes=1)
+    reduce_cost = OpCost(int_ops=14, branch_ops=4)
+    intermediate_record_bytes = 16
+
+    def working_bytes(self, input_nbytes):
+        # Dictionary plus posting buffers at paper scale.
+        return 256 * 1024 * 1024
+
+    def record_count(self, split):
+        return len(split.payload)
+
+    def map_batch(self, split, ctx):
+        pairs = split.payload  # (n, 2): word id, doc id
+        return pairs[:, 0].astype(np.int64), pairs[:, 1].astype(np.int64)
+
+    def reduce_batch(self, keys, values, starts, ctx):
+        # Posting list lengths per word (the lists themselves stay in the
+        # grouped value runs; length is the functional check).
+        counts = np.diff(np.append(starts, len(values)))
+        return keys, counts.astype(np.int64)
+
+    def output_bytes(self, input_nbytes, counters):
+        return int(counters.get("map_output_records") * 10)
+
+
+class IndexWorkload(Workload):
+    """Offline indexing of 10^6 x (1..32) pages (scaled)."""
+
+    info = WorkloadInfo(
+        name="Index", scenario="Search Engine", app_type=OFFLINE,
+        data_type="unstructured", data_source="text",
+        stacks=("Hadoop",), metric=DPS,
+        input_description="10^6 x (1..32) pages", workload_id=13,
+    )
+
+    def prepare(self, scale: int, seed: int = 0) -> WorkloadInput:
+        self.check_scale(scale)
+        corpus = inputs.pages_input(scale, seed)
+        doc_ids = np.repeat(
+            np.arange(corpus.num_docs, dtype=np.int64), corpus.doc_lengths()
+        )
+        pairs = np.column_stack([corpus.tokens, doc_ids])
+        return WorkloadInput(
+            payload=pairs, nbytes=corpus.nbytes, scale=scale,
+            details={"pages": corpus.num_docs, "tokens": corpus.num_tokens,
+                     "vocab": corpus.vocab_size},
+        )
+
+    def run(self, prepared, ctx=None, cluster: ClusterSpec = PAPER_CLUSTER,
+            stack: str = None) -> WorkloadResult:
+        stack = self.check_stack(stack)
+        ctx = context_or_null(ctx)
+        file = Dfs().put("index:input", prepared.payload, prepared.nbytes)
+        result = MapReduceRuntime(cluster=cluster, ctx=ctx).run(_IndexJob(), file)
+        postings_total = int(result.output_values.sum())
+        return WorkloadResult(
+            workload=self.info.name, stack=stack, scale=prepared.scale,
+            input_bytes=prepared.nbytes, cost=result.cost,
+            metric_name=DPS,
+            metric_value=self.dps(prepared.nbytes, result.cost, cluster),
+            details={"postings": postings_total,
+                     "tokens": prepared.details["tokens"],
+                     "distinct_words": result.output_records,
+                     "correct": postings_total == prepared.details["tokens"]},
+        )
+
+
+# ---------------------------------------------------------------------------
+# PageRank (workload 12)
+# ---------------------------------------------------------------------------
+
+DAMPING = 0.85
+
+
+def pagerank_reference(graph, iterations: int) -> np.ndarray:
+    """Dense-iteration reference implementation for verification."""
+    n = graph.num_nodes
+    ranks = np.full(n, 1.0 / n)
+    out_deg = np.maximum(graph.out_degrees(), 1)
+    src = graph.edges[:, 0]
+    dst = graph.edges[:, 1]
+    for _ in range(iterations):
+        contrib = ranks[src] / out_deg[src]
+        incoming = np.bincount(dst, weights=contrib, minlength=n)
+        dangling = ranks[graph.out_degrees() == 0].sum()
+        ranks = (1 - DAMPING) / n + DAMPING * (incoming + dangling / n)
+    return ranks
+
+
+class _PageRankIterationJob(MapReduceJob):
+    """One PageRank iteration: edges -> (dst, contribution) -> sums."""
+
+    name = "pagerank"
+    # Rank-vector accesses follow the in-degree skew: popular pages hot.
+    map_cost = OpCost(int_ops=14, fp_ops=2, branch_ops=3, rand_reads=2,
+                      hot_fraction=0.01, hot_prob=0.8)
+    reduce_cost = OpCost(int_ops=8, fp_ops=2, branch_ops=2)
+    intermediate_record_bytes = 16
+
+    def __init__(self, ranks: np.ndarray, out_deg: np.ndarray,
+                 paper_nodes: int = 1_000_000):
+        self.ranks = ranks
+        self.out_deg = out_deg
+        self.paper_nodes = paper_nodes
+
+    def record_count(self, split):
+        return len(split.payload)
+
+    def map_batch(self, split, ctx):
+        edges = split.payload
+        src = edges[:, 0]
+        contrib = self.ranks[src] / self.out_deg[src]
+        return edges[:, 1].astype(np.int64), contrib
+
+    def reduce_batch(self, keys, values, starts, ctx):
+        return keys, np.add.reduceat(values, starts)
+
+    def working_bytes(self, input_nbytes):
+        # Rank + degree vectors at paper scale: 10^6 x scale pages.
+        return self.paper_nodes * 16
+
+
+class PageRankWorkload(Workload):
+    """Offline PageRank over the scaled web graph."""
+
+    info = WorkloadInfo(
+        name="PageRank", scenario="Search Engine", app_type=OFFLINE,
+        data_type="unstructured", data_source="graph",
+        stacks=("Hadoop", "Spark", "MPI"), metric=DPS,
+        input_description="10^6 x (1..32) pages", workload_id=12,
+    )
+
+    def __init__(self, iterations: int = 3):
+        if iterations < 1:
+            raise ValueError("need at least one iteration")
+        self.iterations = iterations
+
+    def prepare(self, scale: int, seed: int = 0) -> WorkloadInput:
+        self.check_scale(scale)
+        graph = inputs.web_graph_input(scale, seed)
+        return WorkloadInput(
+            payload=graph, nbytes=graph.nbytes, scale=scale,
+            details={"nodes": graph.num_nodes, "edges": graph.num_edges},
+        )
+
+    def run(self, prepared, ctx=None, cluster: ClusterSpec = PAPER_CLUSTER,
+            stack: str = None) -> WorkloadResult:
+        stack = self.check_stack(stack)
+        ctx = context_or_null(ctx)
+        graph = prepared.payload
+        if stack == "hadoop":
+            ranks, cost = self._run_hadoop(graph, prepared.nbytes, ctx, cluster)
+        elif stack == "spark":
+            ranks, cost = self._run_spark(graph, prepared.nbytes, ctx, cluster)
+        else:
+            ranks, cost = self._run_mpi(graph, ctx, cluster)
+        reference = pagerank_reference(graph, self.iterations)
+        max_err = float(np.max(np.abs(ranks - reference)))
+        return WorkloadResult(
+            workload=self.info.name, stack=stack, scale=prepared.scale,
+            input_bytes=prepared.nbytes, cost=cost,
+            metric_name=DPS,
+            metric_value=self.dps(prepared.nbytes, cost, cluster),
+            details={"iterations": self.iterations, "max_error": max_err,
+                     "rank_sum": float(ranks.sum()),
+                     "correct": max_err < 1e-9},
+        )
+
+    def _run_hadoop(self, graph, nbytes, ctx, cluster):
+        runtime = MapReduceRuntime(cluster=cluster, ctx=ctx)
+        dfs = Dfs()
+        file = dfs.put("pagerank:edges", graph.edges, nbytes)
+        n = graph.num_nodes
+        ranks = np.full(n, 1.0 / n)
+        out_deg = np.maximum(graph.out_degrees(), 1)
+        dangling_mask = graph.out_degrees() == 0
+        cost = JobCost()
+        paper_nodes = 1_000_000 * max(1, graph.num_nodes // 4096)
+        for _ in range(self.iterations):
+            job = _PageRankIterationJob(ranks, out_deg, paper_nodes=paper_nodes)
+            result = runtime.run(job, file)
+            incoming = np.zeros(n)
+            incoming[result.output_keys] = result.output_values
+            dangling = ranks[dangling_mask].sum()
+            ranks = (1 - DAMPING) / n + DAMPING * (incoming + dangling / n)
+            cost.phases.extend(result.cost.phases)
+        return ranks, cost
+
+    def _run_spark(self, graph, nbytes, ctx, cluster):
+        sc = SparkContext(cluster=cluster, ctx=ctx)
+        dfs = Dfs()
+        file = dfs.put("pagerank:edges", graph.edges, nbytes)
+        edges = sc.from_dfs(file).cache()
+        n = graph.num_nodes
+        ranks = np.full(n, 1.0 / n)
+        out_deg = np.maximum(graph.out_degrees(), 1)
+        dangling_mask = graph.out_degrees() == 0
+        for _ in range(self.iterations):
+            current = ranks
+
+            def contribs(payload, c, current=current):
+                src, dst = payload[:, 0], payload[:, 1]
+                return dst.astype(np.int64), current[src] / out_deg[src]
+
+            pairs = edges.map_partitions(
+                contribs, cost=OpCost(int_ops=14, fp_ops=2, rand_reads=2)
+            ).reduce_by_key(lambda values, starts: np.add.reduceat(values, starts))
+            incoming = np.zeros(n)
+            for part in pairs.collect():
+                keys, values = part
+                incoming[keys] = values
+            dangling = ranks[dangling_mask].sum()
+            ranks = (1 - DAMPING) / n + DAMPING * (incoming + dangling / n)
+        return ranks, sc.cost
+
+    def _run_mpi(self, graph, ctx, cluster):
+        runtime = BspRuntime(cluster=cluster, ctx=ctx)
+        program = _BspMpiPageRank(graph, runtime.num_ranks, self.iterations)
+        bsp = runtime.run(program)
+        return bsp.states[0]["ranks"], bsp.cost
+
+
+class _BspMpiPageRank(BspProgram):
+    """BSP PageRank: each rank owns an edge shard and reduces partials.
+
+    Every rank computes partial incoming sums from its edge shard, then
+    the partials are all-reduced (sent to every rank) so each rank holds
+    the full updated rank vector -- the common MPI_Allreduce structure.
+    Dangling mass is redistributed uniformly each iteration.
+    """
+
+    name = "mpi-pagerank"
+
+    def __init__(self, graph, num_ranks: int, iterations: int):
+        self.iterations = iterations
+        self.num_nodes = graph.num_nodes
+        self.edge_chunks = np.array_split(graph.edges, num_ranks)
+        self.out_degrees = graph.out_degrees()
+        self.out_deg = np.maximum(self.out_degrees, 1)
+        self.nbytes = graph.nbytes
+
+    def input_bytes(self):
+        return self.nbytes
+
+    def init_rank(self, rank, num_ranks, ctx):
+        return {"ranks": np.full(self.num_nodes, 1.0 / self.num_nodes),
+                "iteration": 0}
+
+    def superstep(self, step, rank, state, inbox, comm, ctx):
+        if inbox:
+            incoming = np.sum(inbox, axis=0)
+            dangling = state["ranks"][self.out_degrees == 0].sum()
+            state["ranks"] = (
+                (1 - DAMPING) / self.num_nodes
+                + DAMPING * (incoming + dangling / self.num_nodes)
+            )
+            state["iteration"] += 1
+            ctx.fp_ops(3 * self.num_nodes)
+        if state["iteration"] >= self.iterations:
+            return False
+        edges = self.edge_chunks[rank]
+        src, dst = edges[:, 0], edges[:, 1]
+        ctx.touch(f"pr:state:{rank}", self.num_nodes * 16)
+        ctx.rand_read(f"pr:state:{rank}", 2 * len(edges))
+        ctx.fp_ops(2 * len(edges))
+        ctx.int_ops(30 * len(edges) + 20 * self.num_nodes / comm.num_ranks)
+        ctx.branch_ops(8 * len(edges))
+        contrib = state["ranks"][src] / self.out_deg[src]
+        partial = np.bincount(dst, weights=contrib, minlength=self.num_nodes)
+        # Ring all-reduce: each rank moves ~2/N of the vector per peer.
+        ring_bytes = 2.0 * partial.nbytes / comm.num_ranks
+        for other in range(comm.num_ranks):
+            comm.send(other, partial, wire_bytes=ring_bytes)
+        return True

@@ -1,0 +1,56 @@
+"""Unit tests for the suite ranking module."""
+
+import pytest
+
+from repro.analysis.ranking import (
+    SuiteScore,
+    geometric_mean,
+    render_ranking,
+    score_configuration,
+)
+from repro.core.harness import Harness
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([4.0, 16.0]) == pytest.approx(8.0)
+
+    def test_ignores_nonpositive(self):
+        assert geometric_mean([0.0, 9.0]) == pytest.approx(9.0)
+
+    def test_empty(self):
+        assert geometric_mean([]) == 0.0
+
+
+class TestScoring:
+    @pytest.fixture(scope="class")
+    def harness(self):
+        return Harness()
+
+    NAMES = ["Grep", "WordCount", "Read", "Nutch Server"]
+
+    def test_scores_cover_metric_classes(self, harness):
+        score = score_configuration(harness, "default", names=self.NAMES)
+        assert score.dps_score > 0
+        assert score.ops_score > 0
+        assert score.rps_score > 0
+        assert len(score.per_workload) == len(self.NAMES)
+
+    def test_stack_override_changes_dps(self, harness):
+        hadoop = score_configuration(harness, "hadoop",
+                                     names=["Grep", "WordCount"])
+        spark = score_configuration(
+            harness, "spark", names=["Grep", "WordCount"],
+            stacks={"Grep": "spark", "WordCount": "spark"},
+        )
+        assert spark.dps_score != hadoop.dps_score
+        # Spark's lower fixed overheads win on these small inputs.
+        assert spark.dps_score > hadoop.dps_score
+
+    def test_render_orders_by_dps(self, harness):
+        a = SuiteScore("slow", 1.0, 1.0, 1.0)
+        b = SuiteScore("fast", 5.0, 1.0, 1.0)
+        text = render_ranking([a, b])
+        lines = text.splitlines()
+        assert "fast" in lines[3]
+        assert "slow" in lines[4]

@@ -1,0 +1,57 @@
+"""Unit tests for the roofline analysis."""
+
+import pytest
+
+from repro.analysis.roofline import (
+    E5645_ROOFLINE,
+    RooflineMachine,
+    render_roofline,
+    roofline_points,
+)
+from repro.core.harness import Harness
+from repro.uarch.hierarchy import XEON_E5645
+
+
+class TestRooflineMachine:
+    def test_attainable_is_min_of_roofs(self):
+        machine = RooflineMachine(XEON_E5645, peak_fp_gops=100,
+                                  peak_int_giops=80, memory_bandwidth_gbs=50)
+        assert machine.attainable(0.5, 100) == pytest.approx(25.0)   # memory
+        assert machine.attainable(10.0, 100) == pytest.approx(100.0)  # compute
+
+    def test_ridge_points(self):
+        machine = RooflineMachine(XEON_E5645, peak_fp_gops=100,
+                                  peak_int_giops=80, memory_bandwidth_gbs=50)
+        assert machine.fp_ridge_point == pytest.approx(2.0)
+        assert machine.int_ridge_point == pytest.approx(1.6)
+
+    def test_negative_intensity_rejected(self):
+        with pytest.raises(ValueError):
+            E5645_ROOFLINE.attainable(-1, 100)
+
+
+class TestRooflinePlacement:
+    @pytest.fixture(scope="class")
+    def points(self):
+        harness = Harness()
+        return roofline_points(harness, ["Grep", "K-means", "Sort"])
+
+    def test_big_data_is_memory_bound_in_fp(self, points):
+        """The paper's conclusion: the FP unit is over-provisioned for
+        these workloads -- all sit far left of the FP ridge."""
+        for point in points:
+            assert point.fp_bound == "memory", point.workload
+            assert point.attainable_fp_gops < 0.2 * E5645_ROOFLINE.peak_fp_gops
+
+    def test_attainable_consistent(self, points):
+        for point in points:
+            expected = min(
+                E5645_ROOFLINE.peak_fp_gops,
+                point.fp_intensity * E5645_ROOFLINE.memory_bandwidth_gbs,
+            )
+            assert point.attainable_fp_gops == pytest.approx(expected)
+
+    def test_render(self, points):
+        text = render_roofline(points)
+        assert "ridge" in text
+        assert "Grep" in text

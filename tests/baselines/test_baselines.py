@@ -1,0 +1,91 @@
+"""Unit tests for the traditional-benchmark baseline kernels."""
+
+import pytest
+
+from repro.baselines import (
+    TRADITIONAL_SUITES,
+    hpcc_suite,
+    parsec_suite,
+    run_kernel,
+    run_suite,
+    specfp_suite,
+    specint_suite,
+    suite_average,
+)
+from repro.baselines.hpcc import DgemmKernel, HplKernel, StreamKernel
+from repro.baselines.parsec import Blackscholes
+from repro.baselines.spec import CompressKernel
+from repro.uarch import XEON_E5310, XEON_E5645
+
+
+class TestSuiteComposition:
+    def test_hpcc_has_all_seven(self):
+        names = {k.name for k in hpcc_suite()}
+        assert names == {"HPL", "STREAM", "PTRANS", "RandomAccess",
+                         "DGEMM", "FFT", "COMM"}
+
+    def test_parsec_has_twelve(self):
+        assert len(parsec_suite()) == 12
+
+    def test_spec_groups(self):
+        assert all(k.suite == "SPECINT" for k in specint_suite())
+        assert all(k.suite == "SPECFP" for k in specfp_suite())
+
+    def test_registry(self):
+        assert set(TRADITIONAL_SUITES) == {"HPCC", "PARSEC", "SPECFP", "SPECINT"}
+
+
+class TestFunctionalResults:
+    def test_hpl_factorization_nonsingular(self):
+        _, result = run_kernel(HplKernel(n=32))
+        assert result["diag_min"] > 0
+
+    def test_stream_checksum(self):
+        _, result = run_kernel(StreamKernel(elements=1000))
+        assert result["checksum"] > 0
+
+    def test_dgemm_trace(self):
+        _, result = run_kernel(DgemmKernel(n=16))
+        assert result["trace"] > 0
+
+    def test_blackscholes_prices_positive(self):
+        _, result = run_kernel(Blackscholes())
+        assert result["mean_price"] > 0
+
+    def test_compress_entropy_near_uniform(self):
+        _, result = run_kernel(CompressKernel())
+        assert 7.9 < result["entropy_bits"] <= 8.0
+
+
+class TestProfiles:
+    def test_every_kernel_produces_events(self):
+        for suite_name, factory in TRADITIONAL_SUITES.items():
+            for report in run_suite(factory()):
+                assert report.events.instructions > 0, report.metadata
+
+    def test_hpcc_is_fp_dominated(self):
+        events = suite_average(run_suite(hpcc_suite()))
+        assert events.int_fp_ratio < 2.0
+
+    def test_specint_is_integer_dominated(self):
+        events = suite_average(run_suite(specint_suite()))
+        assert events.int_fp_ratio > 100
+
+    def test_hpcc_tiny_instruction_footprint(self):
+        events = suite_average(run_suite(hpcc_suite()))
+        assert events.l1i_mpki < 2.0
+        assert events.itlb_mpki < 0.2
+
+    def test_intensity_higher_with_l3(self):
+        """C5 control: HPCC FP intensity is higher on the E5645 than on
+        the two-level E5310."""
+        on_e5645 = suite_average(run_suite(hpcc_suite(), XEON_E5645))
+        on_e5310 = suite_average(run_suite(hpcc_suite(), XEON_E5310))
+        assert on_e5645.fp_intensity > on_e5310.fp_intensity
+
+    def test_suite_average_merges(self):
+        reports = run_suite(specfp_suite())
+        merged = suite_average(reports)
+        assert merged.instructions == pytest.approx(
+            sum(r.events.instructions for r in reports)
+        )

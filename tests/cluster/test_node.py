@@ -1,0 +1,37 @@
+"""Unit tests for node and cluster specifications."""
+
+import pytest
+
+from repro.cluster import ClusterSpec, DiskSpec, NicSpec, NodeSpec, PAPER_CLUSTER
+
+GB = 1024 ** 3
+
+
+class TestSpecs:
+    def test_paper_cluster_matches_section_6_1(self):
+        assert PAPER_CLUSTER.num_nodes == 14
+        assert PAPER_CLUSTER.node.memory_bytes == 16 * GB
+        assert PAPER_CLUSTER.node.machine.name == "Intel Xeon E5645"
+        # Two E5645 sockets per node: 12 cores.
+        assert PAPER_CLUSTER.node.cores == 12
+
+    def test_aggregates(self):
+        cluster = ClusterSpec(num_nodes=4)
+        assert cluster.total_cores == 4 * cluster.node.cores
+        assert cluster.total_memory_bytes == 4 * cluster.node.memory_bytes
+        assert cluster.aggregate_disk_bandwidth == pytest.approx(
+            4 * cluster.node.disk.seq_bandwidth
+        )
+        assert cluster.aggregate_network_bandwidth == pytest.approx(
+            4 * cluster.node.nic.bandwidth
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(num_nodes=0)
+        with pytest.raises(ValueError):
+            NodeSpec(memory_bytes=0)
+        with pytest.raises(ValueError):
+            DiskSpec(seq_bandwidth=0)
+        with pytest.raises(ValueError):
+            NicSpec(bandwidth=-1)

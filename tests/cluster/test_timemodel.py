@@ -1,0 +1,107 @@
+"""Unit tests for the analytic job-time model."""
+
+import pytest
+
+from repro.cluster import ClusterSpec, JobCost, PhaseCost, TimeModel
+
+GB = 1024 ** 3
+
+
+def model(nodes=14):
+    return TimeModel(ClusterSpec(num_nodes=nodes))
+
+
+class TestPhaseTime:
+    def test_cpu_only_phase(self):
+        tm = model()
+        phase = PhaseCost(cpu_seconds=1000.0)
+        time = tm.phase_time(phase)
+        assert time.disk == 0
+        assert time.network == 0
+        assert time.total == pytest.approx(time.cpu)
+        assert time.cpu > 0
+
+    def test_disk_time_scales_with_bytes(self):
+        tm = model()
+        small = tm.phase_time(PhaseCost(disk_read_bytes=10 * GB)).disk
+        large = tm.phase_time(PhaseCost(disk_read_bytes=40 * GB)).disk
+        assert large == pytest.approx(4 * small)
+
+    def test_overlap_hides_most_of_non_dominant_resource(self):
+        tm = model()
+        both = tm.phase_time(PhaseCost(cpu_seconds=5000.0, disk_read_bytes=10 * GB))
+        cpu_only = tm.phase_time(PhaseCost(cpu_seconds=5000.0))
+        disk_only = tm.phase_time(PhaseCost(disk_read_bytes=10 * GB))
+        assert both.total < cpu_only.total + disk_only.total
+        assert both.total >= max(cpu_only.total, disk_only.total)
+
+    def test_spill_kicks_in_beyond_memory(self):
+        tm = model(nodes=2)
+        fits = PhaseCost(disk_read_bytes=GB, working_bytes=2 * GB)
+        spills = PhaseCost(disk_read_bytes=GB, working_bytes=100 * GB)
+        assert tm.phase_time(spills).spill > tm.phase_time(fits).spill
+        assert tm.phase_time(fits).spill == 0.0
+
+    def test_shuffle_congestion_is_superlinear(self):
+        """Doubling shuffle volume more than doubles network time."""
+        tm = model()
+        base = 500 * GB
+        t1 = tm.phase_time(PhaseCost(shuffle_bytes=base)).network
+        t2 = tm.phase_time(PhaseCost(shuffle_bytes=2 * base)).network
+        assert t2 > 2.0 * t1
+
+
+class TestJobTime:
+    def test_phases_add_up(self):
+        tm = model()
+        job = JobCost()
+        job.add(PhaseCost(name="map", cpu_seconds=100))
+        job.add(PhaseCost(name="reduce", cpu_seconds=200))
+        expected = tm.phase_time(job.phases[0]).total + tm.phase_time(job.phases[1]).total
+        assert tm.job_time(job) == pytest.approx(expected)
+
+    def test_dps_definition(self):
+        """DPS = input bytes / total processing time (Section 6.1.2)."""
+        tm = model()
+        job = JobCost().add(PhaseCost(disk_read_bytes=10 * GB))
+        seconds = tm.job_time(job)
+        assert tm.dps(10 * GB, job) == pytest.approx(10 * GB / seconds)
+
+    def test_dps_empty_job(self):
+        assert model().dps(100.0, JobCost()) == 0.0
+
+    def test_more_nodes_faster(self):
+        job = JobCost().add(
+            PhaseCost(cpu_seconds=5000, disk_read_bytes=50 * GB, shuffle_bytes=10 * GB)
+        )
+        assert model(nodes=28).job_time(job) < model(nodes=7).job_time(job)
+
+    def test_scaled_cost(self):
+        phase = PhaseCost(cpu_seconds=10, disk_read_bytes=100, shuffle_bytes=7)
+        doubled = phase.scaled(2.0)
+        assert doubled.cpu_seconds == 20
+        assert doubled.disk_read_bytes == 200
+        assert doubled.shuffle_bytes == 14
+
+    def test_sort_like_job_degrades_superlinearly(self):
+        """The Figure 3-2 Sort story: at large scale, shuffle congestion and
+        spill make DPS *drop* relative to the baseline."""
+        tm = model()
+
+        def sort_job(input_gb):
+            nbytes = input_gb * GB
+            job = JobCost()
+            job.add(PhaseCost(
+                name="map", cpu_seconds=input_gb * 20,
+                disk_read_bytes=nbytes, working_bytes=nbytes,
+            ))
+            job.add(PhaseCost(
+                name="shuffle+reduce", cpu_seconds=input_gb * 30,
+                shuffle_bytes=nbytes, disk_write_bytes=nbytes,
+                working_bytes=nbytes,
+            ))
+            return tm.dps(nbytes, job)
+
+        baseline = sort_job(32)
+        at_32x = sort_job(32 * 32)
+        assert at_32x < baseline

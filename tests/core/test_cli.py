@@ -1,0 +1,61 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        actions = parser._subparsers._group_actions[0].choices
+        assert set(actions) == {
+            "list", "run", "sweep", "table", "figure", "roofline", "rank",
+            "export",
+        }
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "Grep"])
+        assert args.workload == "Grep"
+        assert args.scale == 1
+        assert args.stack is None
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Naive Bayes" in out
+        assert out.count("\n") >= 20
+
+    def test_table(self, capsys):
+        assert main(["table", "7"]) == 0
+        assert "None" in capsys.readouterr().out
+
+    def test_run(self, capsys):
+        assert main(["run", "Grep", "--scale", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "L1I / L2 / L3 MPKI" in out
+        assert "correct: True" in out
+
+    def test_run_on_e5310(self, capsys):
+        assert main(["run", "Grep", "--machine", "E5310"]) == 0
+        assert "E5310" in capsys.readouterr().out
+
+    def test_unknown_machine(self):
+        with pytest.raises(SystemExit):
+            main(["run", "Grep", "--machine", "M1"])
+
+    def test_roofline_subset(self, capsys):
+        assert main(["roofline", "Grep"]) == 0
+        out = capsys.readouterr().out
+        assert "memory" in out  # big data workloads sit under the slope
+
+    def test_export(self, tmp_path, capsys):
+        assert main(["export", str(tmp_path / "csv")]) == 0
+        out = capsys.readouterr().out
+        assert "figure6_cache.csv" in out
+
+    def test_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "9"])

@@ -1,0 +1,64 @@
+"""Unit tests for the workload registry (Table 4 coverage)."""
+
+import pytest
+
+from repro.core import registry
+from repro.core.workload import DPS, OFFLINE, ONLINE, OPS, REALTIME, RPS
+
+
+class TestRegistryCompleteness:
+    def test_nineteen_workloads(self):
+        assert len(registry.workload_names()) == 19
+
+    def test_names_in_table6_order(self):
+        names = registry.workload_names()
+        assert names[0] == "Sort"
+        assert names[3] == "BFS"
+        assert names[18] == "Naive Bayes"
+        ids = [registry.WORKLOAD_CLASSES[n].info.workload_id for n in names]
+        assert ids == list(range(1, 20))
+
+    def test_application_type_coverage(self):
+        """Table 4 pays equal attention to all three application types."""
+        online = registry.by_app_type(ONLINE)
+        offline = registry.by_app_type(OFFLINE)
+        realtime = registry.by_app_type(REALTIME)
+        assert len(online) + len(offline) + len(realtime) == 19
+        assert len(online) >= 6   # 3 servers + 3 Cloud OLTP
+        assert len(offline) >= 10
+        assert len(realtime) == 3
+
+    def test_data_type_and_source_coverage(self):
+        infos = [registry.WORKLOAD_CLASSES[n].info for n in registry.workload_names()]
+        assert {i.data_type for i in infos} == {
+            "structured", "semi-structured", "unstructured"
+        }
+        assert {i.data_source for i in infos} == {"text", "graph", "table"}
+
+    def test_scenario_coverage(self):
+        infos = [registry.WORKLOAD_CLASSES[n].info for n in registry.workload_names()]
+        scenarios = {i.scenario for i in infos}
+        assert scenarios == {
+            "Micro Benchmarks", "Basic Datastore Operations",
+            "Relational Query", "Search Engine", "Social Network",
+            "E-commerce",
+        }
+
+    def test_metric_groups(self):
+        assert len(registry.analytics_names()) == 13  # 10 offline + 3 realtime
+        assert registry.service_names() == ["Nutch Server", "Olio Server",
+                                            "Rubis Server"]
+        assert registry.oltp_names() == ["Read", "Write", "Scan"]
+
+    def test_create_and_info(self):
+        workload = registry.create("Sort")
+        assert workload.info.name == "Sort"
+        assert registry.info("Sort").workload_id == 1
+
+    def test_create_with_kwargs(self):
+        workload = registry.create("PageRank", iterations=5)
+        assert workload.iterations == 5
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            registry.create("TeraSort")

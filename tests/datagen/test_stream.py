@@ -1,0 +1,95 @@
+"""Unit tests for velocity: the streaming data generator."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    ECommerceModel,
+    RateProfile,
+    TextModel,
+    ecommerce_transactions,
+    table_stream,
+    text_stream,
+    wikipedia_entries,
+)
+from repro.datagen.stream import DataStream
+
+
+@pytest.fixture(scope="module")
+def text_model():
+    return TextModel.estimate(wikipedia_entries(num_docs=150))
+
+
+class TestRateProfile:
+    def test_regular_intervals_are_constant(self):
+        profile = RateProfile(batches_per_second=10)
+        gaps = profile.intervals(20, np.random.default_rng(0))
+        assert np.allclose(gaps, 0.1)
+
+    def test_poisson_mean_matches_rate(self):
+        profile = RateProfile(batches_per_second=5, regular=False)
+        gaps = profile.intervals(20_000, np.random.default_rng(1))
+        assert gaps.mean() == pytest.approx(0.2, rel=0.05)
+
+    def test_bursty_keeps_mean_but_raises_variance(self):
+        rng = np.random.default_rng(2)
+        smooth = RateProfile(5, regular=False).intervals(20_000, rng)
+        rng = np.random.default_rng(2)
+        bursty = RateProfile(5, regular=False, burstiness=0.4).intervals(20_000, rng)
+        assert bursty.mean() == pytest.approx(smooth.mean(), rel=0.15)
+        assert bursty.std() > smooth.std()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RateProfile(0)
+        with pytest.raises(ValueError):
+            RateProfile(1, burstiness=1.0)
+
+
+class TestDataStream:
+    def test_timestamps_monotone(self, text_model):
+        stream = text_stream(text_model, 5, RateProfile(8, regular=False), seed=3)
+        batches = stream.take(30)
+        times = [b.timestamp for b in batches]
+        assert times == sorted(times)
+        assert all(b.sequence == i for i, b in enumerate(batches))
+
+    def test_deterministic_replay(self, text_model):
+        stream = text_stream(text_model, 5, RateProfile(8), seed=4)
+        first = stream.take(10)
+        second = stream.take(10)
+        assert [b.timestamp for b in first] == [b.timestamp for b in second]
+        assert first[3].payload.num_tokens == second[3].payload.num_tokens
+
+    def test_bytes_per_second_tracks_rate(self, text_model):
+        slow = text_stream(text_model, 5, RateProfile(2), seed=5)
+        fast = text_stream(text_model, 5, RateProfile(8), seed=5)
+        assert fast.bytes_per_second(40) > 2.5 * slow.bytes_per_second(40)
+
+    def test_table_stream(self):
+        model = ECommerceModel.estimate(ecommerce_transactions(num_orders=300))
+        stream = table_stream(model, rows_per_batch=100, rate=RateProfile(4), seed=6)
+        batch = stream.take(3)[-1]
+        assert batch.payload.orders.num_rows == 100
+        assert batch.nbytes > 0
+
+    def test_take_validation(self, text_model):
+        stream = text_stream(text_model, 2, RateProfile(1))
+        with pytest.raises(ValueError):
+            stream.take(-1)
+        assert stream.take(0) == []
+
+
+class TestLatencyPercentiles:
+    def test_percentiles_ordered(self):
+        from repro.serving import mm_c
+
+        result = mm_c(500, 0.002, 12)
+        assert result.mean_latency < result.p95_latency < result.p99_latency
+
+    def test_percentile_validation(self):
+        from repro.serving import mm_c
+
+        result = mm_c(10, 0.001, 4)
+        with pytest.raises(ValueError):
+            result.latency_percentile(1.0)

@@ -1,0 +1,170 @@
+"""Unit tests for table, review, and resume data models."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.models import ks_distance
+from repro.datagen.seeds import (
+    amazon_movie_reviews,
+    ecommerce_transactions,
+    profsearch_resumes,
+)
+from repro.datagen.table import (
+    ECommerceModel,
+    ResumeModel,
+    ReviewModel,
+    Table,
+    TableModel,
+)
+
+
+class TestTable:
+    def test_basic_properties(self):
+        table = Table("t", {"a": np.arange(5), "b": np.ones(5)})
+        assert table.num_rows == 5
+        assert table.column_names == ["a", "b"]
+        assert table.schema()[0][0] == "a"
+        assert table.nbytes == 5 * 2 * 11
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            Table("t", {"a": np.arange(5), "b": np.ones(3)})
+
+    def test_empty_table(self):
+        assert Table("t").num_rows == 0
+
+
+class TestTableModel:
+    def test_roundtrip_numeric(self):
+        rng = np.random.default_rng(0)
+        seed = Table("t", {"x": rng.normal(10, 3, 5000)})
+        model = TableModel.estimate(seed)
+        synth = model.generate(5000, rng)
+        assert ks_distance(seed.column("x"), synth.column("x")) < 0.06
+
+    def test_roundtrip_categorical(self):
+        rng = np.random.default_rng(1)
+        seed = Table("t", {"c": rng.choice([2, 4, 8], size=3000).astype(np.int64)})
+        model = TableModel.estimate(seed)
+        synth = model.generate(3000, rng)
+        assert set(np.unique(synth.column("c"))) <= {2, 4, 8}
+
+    def test_generate_row_count(self):
+        model = TableModel.estimate(Table("t", {"x": np.arange(100.0)}))
+        assert model.generate(42, np.random.default_rng(0)).num_rows == 42
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TableModel.estimate(Table("t"))
+
+
+class TestECommerceModel:
+    def test_estimate_generate_pipeline(self):
+        seed = ecommerce_transactions()
+        model = ECommerceModel.estimate(seed)
+        synth = model.generate(2000, np.random.default_rng(0))
+        assert synth.orders.num_rows == 2000
+        assert synth.items.num_rows > 2000  # multiple items per order
+
+    def test_foreign_key_integrity(self):
+        seed = ecommerce_transactions()
+        model = ECommerceModel.estimate(seed)
+        synth = model.generate(500, np.random.default_rng(1))
+        order_ids = set(synth.orders.column("ORDER_ID").tolist())
+        assert set(synth.items.column("ORDER_ID").tolist()) <= order_ids
+
+    def test_schema_matches_table3(self):
+        synth = ECommerceModel.estimate(ecommerce_transactions()).generate(
+            100, np.random.default_rng(2)
+        )
+        assert synth.orders.column_names == ["ORDER_ID", "BUYER_ID", "CREATE_DATE"]
+        assert synth.items.column_names == [
+            "ITEM_ID", "ORDER_ID", "GOODS_ID",
+            "GOODS_NUMBER", "GOODS_PRICE", "GOODS_AMOUNT",
+        ]
+
+    def test_amount_is_price_times_quantity(self):
+        synth = ECommerceModel.estimate(ecommerce_transactions()).generate(
+            300, np.random.default_rng(3)
+        )
+        items = synth.items
+        assert np.allclose(
+            items.column("GOODS_AMOUNT"),
+            items.column("GOODS_PRICE") * items.column("GOODS_NUMBER"),
+        )
+
+    def test_basket_size_distribution_preserved(self):
+        seed = ecommerce_transactions()
+        model = ECommerceModel.estimate(seed)
+        synth = model.generate(seed.orders.num_rows, np.random.default_rng(4))
+        seed_ratio = seed.items.num_rows / seed.orders.num_rows
+        synth_ratio = synth.items.num_rows / synth.orders.num_rows
+        assert synth_ratio == pytest.approx(seed_ratio, rel=0.15)
+
+
+class TestReviewModel:
+    def test_generate_shapes(self):
+        model = ReviewModel.estimate(amazon_movie_reviews(num_reviews=1500))
+        synth = model.generate(800, np.random.default_rng(0))
+        assert synth.num_reviews == 800
+        assert synth.corpus.num_docs == 800
+        assert synth.scores.min() >= 1 and synth.scores.max() <= 5
+
+    def test_score_distribution_preserved(self):
+        seed = amazon_movie_reviews(num_reviews=3000)
+        model = ReviewModel.estimate(seed)
+        synth = model.generate(3000, np.random.default_rng(1))
+        seed_five = float((seed.scores == 5).mean())
+        synth_five = float((synth.scores == 5).mean())
+        assert synth_five == pytest.approx(seed_five, abs=0.05)
+
+    def test_sentiment_signal_preserved(self):
+        """Positive-class reviews over-use the positive lexicon in the
+        synthetic data just as in the seed (Naive Bayes learnability)."""
+        seed = amazon_movie_reviews(num_reviews=2500)
+        model = ReviewModel.estimate(seed)
+        synth = model.generate(2500, np.random.default_rng(2))
+        labels = synth.sentiment_labels()
+        pos_tokens = np.concatenate(
+            [synth.corpus.doc(i) for i in np.nonzero(labels == 1)[0]]
+        )
+        neg_tokens = np.concatenate(
+            [synth.corpus.doc(i) for i in np.nonzero(labels == 0)[0]]
+        )
+        pos_lexicon_rate = np.mean((pos_tokens >= 1000) & (pos_tokens < 1250))
+        neg_lexicon_rate = np.mean((neg_tokens >= 1000) & (neg_tokens < 1250))
+        assert pos_lexicon_rate > 3 * neg_lexicon_rate
+
+    def test_sentiment_labels(self):
+        seed = amazon_movie_reviews(num_reviews=200)
+        labels = seed.sentiment_labels()
+        assert set(labels.tolist()) <= {-1, 0, 1}
+        assert np.all((labels == 1) == (seed.scores >= 4))
+
+
+class TestResumeModel:
+    def test_roundtrip(self):
+        seed = profsearch_resumes()
+        model = ResumeModel.estimate(seed)
+        synth = model.generate(1000, np.random.default_rng(0))
+        assert synth.num_resumes == 1000
+        assert synth.value_sizes.min() >= 64
+        assert synth.nbytes == synth.value_sizes.sum()
+
+    def test_value_size_distribution_preserved(self):
+        seed = profsearch_resumes()
+        model = ResumeModel.estimate(seed)
+        synth = model.generate(seed.num_resumes, np.random.default_rng(1))
+        assert ks_distance(
+            seed.value_sizes.astype(float), synth.value_sizes.astype(float)
+        ) < 0.08
+
+    def test_record_keys_unique(self):
+        seed = profsearch_resumes()
+        assert seed.record_key(0) != seed.record_key(1)
+        assert seed.record_key(5).startswith(b"resume:")
+
+    def test_generate_rejects_nonpositive(self):
+        model = ResumeModel.estimate(profsearch_resumes())
+        with pytest.raises(ValueError):
+            model.generate(0, np.random.default_rng(0))

@@ -1,0 +1,123 @@
+"""Unit tests for text corpora and the BDGS text generator."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.text import TextCorpus, TextModel, Vocabulary
+
+
+def tiny_corpus():
+    docs = [[0, 1, 0, 2], [0, 3], [1, 1, 1, 1, 4]]
+    return TextCorpus.from_docs([np.array(d) for d in docs], vocab_size=5)
+
+
+class TestVocabulary:
+    def test_words_are_unique_and_stable(self):
+        vocab = Vocabulary(5000)
+        words = {vocab.word(i) for i in range(5000)}
+        assert len(words) == 5000
+        assert vocab.word(17) == Vocabulary(5000).word(17)
+
+    def test_word_out_of_range(self):
+        with pytest.raises(IndexError):
+            Vocabulary(10).word(10)
+
+    def test_word_lengths_match_actual(self):
+        vocab = Vocabulary(3000)
+        lengths = vocab.word_lengths()
+        for i in (0, 1, 84, 85, 2999):
+            assert lengths[i] == len(vocab.word(i))
+
+    def test_empty_vocab_rejected(self):
+        with pytest.raises(ValueError):
+            Vocabulary(0)
+
+
+class TestTextCorpus:
+    def test_from_docs_layout(self):
+        corpus = tiny_corpus()
+        assert corpus.num_docs == 3
+        assert corpus.num_tokens == 11
+        assert corpus.doc(0).tolist() == [0, 1, 0, 2]
+        assert corpus.doc(2).tolist() == [1, 1, 1, 1, 4]
+
+    def test_doc_lengths(self):
+        assert tiny_corpus().doc_lengths().tolist() == [4, 2, 5]
+
+    def test_word_frequencies(self):
+        freq = tiny_corpus().word_frequencies()
+        assert freq.tolist() == [3, 5, 1, 1, 1]
+
+    def test_nbytes_positive_and_consistent(self):
+        corpus = tiny_corpus()
+        vocab = corpus.vocabulary
+        expected = sum(len(vocab.word(int(t))) + 1 for t in corpus.tokens)
+        assert corpus.nbytes == expected
+
+    def test_bad_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            TextCorpus(
+                tokens=np.array([1, 2, 3]),
+                doc_offsets=np.array([0, 2]),
+                vocab_size=5,
+            )
+
+
+class TestTextModel:
+    def _seed(self, alpha=1.1, vocab=2000, docs=300):
+        rng = np.random.default_rng(7)
+        from repro.datagen.models import ZipfModel
+
+        zipf = ZipfModel(alpha=alpha, vocab_size=vocab)
+        lengths = np.maximum(5, rng.lognormal(4.0, 0.6, docs).astype(np.int64))
+        offsets = np.zeros(docs + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        return TextCorpus(zipf.sample(int(offsets[-1]), rng), offsets, vocab)
+
+    def test_estimate_recovers_length_scale(self):
+        seed = self._seed()
+        model = TextModel.estimate(seed)
+        assert model.mean_doc_length == pytest.approx(
+            float(seed.doc_lengths().mean()), rel=0.15
+        )
+
+    def test_generate_requested_docs(self):
+        model = TextModel.estimate(self._seed())
+        synth = model.generate(150, np.random.default_rng(0))
+        assert synth.num_docs == 150
+        assert synth.vocab_size == 2000
+
+    def test_generate_zero_docs(self):
+        model = TextModel.estimate(self._seed())
+        synth = model.generate(0, np.random.default_rng(0))
+        assert synth.num_docs == 0
+        assert synth.num_tokens == 0
+
+    def test_generate_bytes_hits_target(self):
+        """The BDGS volume knob: output within 20% of requested size."""
+        model = TextModel.estimate(self._seed())
+        target = 2 * 1024 * 1024
+        synth = model.generate_bytes(target, np.random.default_rng(1))
+        assert abs(synth.nbytes - target) / target < 0.2
+
+    def test_generate_bytes_rejects_nonpositive(self):
+        model = TextModel.estimate(self._seed())
+        with pytest.raises(ValueError):
+            model.generate_bytes(0, np.random.default_rng(0))
+
+    def test_estimate_rejects_empty(self):
+        empty = TextCorpus(np.empty(0, dtype=np.int64), np.zeros(1, dtype=np.int64), 5)
+        with pytest.raises(ValueError):
+            TextModel.estimate(empty)
+
+    def test_scaling_preserves_zipf_alpha(self):
+        """Generating 8x the seed volume keeps the fitted exponent (4V:
+        volume scales, veracity preserved)."""
+        from repro.datagen.models import fit_zipf
+
+        seed = self._seed()
+        model = TextModel.estimate(seed)
+        synth = model.generate(8 * seed.num_docs, np.random.default_rng(2))
+        alpha_seed = fit_zipf(seed.word_frequencies()).alpha
+        alpha_synth = fit_zipf(synth.word_frequencies()).alpha
+        assert alpha_synth == pytest.approx(alpha_seed, abs=0.15)

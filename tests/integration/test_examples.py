@@ -1,0 +1,33 @@
+"""Smoke tests: every example script runs and prints its report."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+EXPECTED_OUTPUT = {
+    "quickstart.py": "Architectural profile",
+    "search_engine_study.py": "Nutch Server: load sweep",
+    "bdgs_4v_demo.py": "Kronecker scaling",
+    "architecture_comparison.py": "Operation intensity with and without",
+    "stack_shootout.py": "three software stacks",
+    "velocity_streaming.py": "Realtime revenue tracking",
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_OUTPUT))
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert EXPECTED_OUTPUT[script] in result.stdout
+
+
+def test_examples_directory_complete():
+    scripts = {f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")}
+    assert scripts == set(EXPECTED_OUTPUT)

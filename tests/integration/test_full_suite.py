@@ -1,0 +1,43 @@
+"""Integration: every Table 4 workload runs end to end, unprofiled.
+
+Complements the claim tests (which run everything profiled): here the
+engines execute functionally with the no-op profiler, checking that the
+suite works without any simulation machinery in the loop.
+"""
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.core import registry
+
+SMALL_CLUSTER = ClusterSpec(num_nodes=4)
+
+
+@pytest.mark.parametrize("name", registry.workload_names())
+def test_workload_runs_functionally(name):
+    workload = registry.create(name)
+    prepared = workload.prepare(1)
+    result = workload.run(prepared, cluster=SMALL_CLUSTER)
+
+    info = workload.info
+    assert result.workload == info.name
+    assert result.metric_name == info.metric
+    assert result.metric_value > 0
+    assert result.scale == 1
+    assert result.input_bytes > 0
+    # Workloads that self-verify must report success.
+    if "correct" in result.details:
+        assert result.details["correct"] is True, result.details
+
+
+@pytest.mark.parametrize("name", ["Sort", "PageRank", "Connected Components"])
+def test_multi_stack_workloads_agree_on_default(name):
+    workload = registry.create(name)
+    assert workload.check_stack(None) == "hadoop"
+
+
+def test_prepare_is_deterministic():
+    first = registry.create("WordCount").prepare(1)
+    second = registry.create("WordCount").prepare(1)
+    assert first.nbytes == second.nbytes
+    assert first.details == second.details

@@ -1,0 +1,230 @@
+"""Claim tests: the paper's headline findings, asserted as orderings.
+
+Each test pins one of the claims C1-C6 from DESIGN.md.  These are
+inequalities and orderings, not exact numbers -- the reproduction targets
+the paper's qualitative conclusions (see the Numbers policy in
+DESIGN.md).
+
+The shared harness characterizes all 19 workloads once (scale 1,
+Xeon E5645) plus the four traditional suites; individual tests read from
+that single run set.
+"""
+
+import pytest
+
+from repro.analysis import (
+    FIGURE_ORDER,
+    figure2,
+    figure4,
+    figure5,
+    figure6_cache,
+    figure6_tlb,
+)
+from repro.baselines import TRADITIONAL_SUITES, run_suite, suite_average
+from repro.core.harness import Harness
+from repro.uarch import XEON_E5310, XEON_E5645
+
+TRADITIONAL = ("HPCC", "PARSEC", "SPECFP", "SPECINT")
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return Harness(machine=XEON_E5645)
+
+
+@pytest.fixture(scope="module")
+def harness_e5310():
+    return Harness(machine=XEON_E5310)
+
+
+@pytest.fixture(scope="module")
+def fig4(harness):
+    return figure4(harness)
+
+
+@pytest.fixture(scope="module")
+def fig6_cache(harness):
+    return figure6_cache(harness)
+
+
+@pytest.fixture(scope="module")
+def fig6_tlb(harness):
+    return figure6_tlb(harness)
+
+
+@pytest.fixture(scope="module")
+def traditional_events():
+    return {
+        suite: suite_average(run_suite(factory(), XEON_E5645))
+        for suite, factory in TRADITIONAL_SUITES.items()
+    }
+
+
+def _bigdata_events(harness):
+    merged = None
+    for name in FIGURE_ORDER:
+        events = harness.characterize(name).events
+        merged = events if merged is None else merged.merge(events)
+    return merged
+
+
+class TestC1OperationIntensity:
+    """C1: big data workloads have very low operation intensity."""
+
+    def test_fp_intensity_two_orders_below_traditional(self, harness,
+                                                       traditional_events):
+        bigdata = _bigdata_events(harness)
+        for suite in ("HPCC", "PARSEC", "SPECFP"):
+            ratio = traditional_events[suite].fp_intensity / bigdata.fp_intensity
+            assert ratio > 20, f"{suite} ratio {ratio:.1f}"
+        # Combined traditional average: >= 2 orders of magnitude.
+        combined = (
+            traditional_events["HPCC"]
+            .merge(traditional_events["PARSEC"])
+            .merge(traditional_events["SPECFP"])
+        )
+        assert combined.fp_intensity / bigdata.fp_intensity > 50
+
+    def test_int_intensity_same_order_as_traditional(self, harness,
+                                                     traditional_events):
+        bigdata = _bigdata_events(harness)
+        for suite in TRADITIONAL:
+            ratio = bigdata.int_intensity / traditional_events[suite].int_intensity
+            assert 0.1 < ratio < 10, f"{suite} ratio {ratio:.2f}"
+
+    def test_int_fp_ratio_two_orders_above_traditional(self, fig4):
+        bigdata_ratio = fig4.row_for("Avg_BigData")[-1]
+        assert bigdata_ratio > 50
+        for suite in ("HPCC", "PARSEC", "SPECFP"):
+            assert bigdata_ratio > 40 * fig4.row_for(f"Avg_{suite}")[-1]
+
+    def test_grep_has_max_ratio_bayes_near_min(self, fig4):
+        workload_rows = [r for r in fig4.rows if not r[0].startswith("Avg_")]
+        ratios = {row[0]: row[-1] for row in workload_rows}
+        assert max(ratios, key=ratios.get) == "Grep"
+        # Naive Bayes and K-means sit at the FP-heavy bottom (paper: 10).
+        lowest_two = sorted(ratios, key=ratios.get)[:2]
+        assert set(lowest_two) == {"Naive Bayes", "K-means"}
+        assert ratios["Naive Bayes"] < 20
+
+    def test_specint_is_the_integer_exception(self, fig4):
+        assert fig4.row_for("Avg_SPECINT")[-1] > fig4.row_for("Avg_BigData")[-1]
+
+
+class TestC3CacheBehavior:
+    """C3: L1I MPKI >= 4x traditional; L2 higher; L3 effective."""
+
+    def test_l1i_at_least_4x_traditional(self, fig6_cache):
+        bigdata = fig6_cache.row_for("Avg_BigData")[1]
+        for suite in TRADITIONAL:
+            assert bigdata > 4 * fig6_cache.row_for(f"Avg_{suite}")[1], suite
+
+    def test_l2_higher_than_traditional(self, fig6_cache):
+        bigdata = fig6_cache.row_for("Avg_BigData")[2]
+        for suite in TRADITIONAL:
+            assert bigdata > fig6_cache.row_for(f"Avg_{suite}")[2], suite
+
+    def test_l3_effective(self, fig6_cache):
+        """BigDataBench's average L3 MPKI sits below HPCC, PARSEC, and
+        SPECINT (the paper's 1.5 vs 2.4/2.3/1.9), i.e. the LLC works."""
+        bigdata = fig6_cache.row_for("Avg_BigData")[3]
+        for suite in ("HPCC", "PARSEC", "SPECINT"):
+            assert bigdata < fig6_cache.row_for(f"Avg_{suite}")[3], suite
+        # And far below the workloads' own L2 MPKI.
+        assert bigdata < 0.3 * fig6_cache.row_for("Avg_BigData")[2]
+
+    def test_online_services_have_highest_l2_except_nutch(self, fig6_cache):
+        olio = fig6_cache.row_for("Olio Server")[2]
+        rubis = fig6_cache.row_for("Rubis Server")[2]
+        nutch = fig6_cache.row_for("Nutch Server")[2]
+        analytics_avg = sum(
+            fig6_cache.row_for(n)[2]
+            for n in ("Sort", "Grep", "WordCount", "PageRank", "Index")
+        ) / 5
+        assert olio > 2 * analytics_avg
+        assert rubis > 2 * analytics_avg
+        assert nutch < analytics_avg  # the paper's 4.1 exception
+
+    def test_bfs_is_the_analytics_l2_outlier(self, fig6_cache):
+        bfs = fig6_cache.row_for("BFS")[2]
+        for name in ("Sort", "Grep", "WordCount", "PageRank", "Index",
+                     "K-means", "Connected Components"):
+            assert bfs > fig6_cache.row_for(name)[2], name
+
+
+class TestC4TlbBehavior:
+    """C4: ITLB and DTLB MPKI above traditional; diverse DTLB range."""
+
+    def test_itlb_above_traditional(self, fig6_tlb):
+        bigdata = fig6_tlb.row_for("Avg_BigData")[2]
+        for suite in TRADITIONAL:
+            assert bigdata > 2 * fig6_tlb.row_for(f"Avg_{suite}")[2], suite
+
+    def test_dtlb_above_traditional(self, fig6_tlb):
+        bigdata = fig6_tlb.row_for("Avg_BigData")[1]
+        for suite in TRADITIONAL:
+            assert bigdata > fig6_tlb.row_for(f"Avg_{suite}")[1], suite
+
+    def test_dtlb_diversity_bfs_max_nutch_low(self, fig6_tlb):
+        """Paper: DTLB MPKI ranges 0.2 (Nutch) to 14 (BFS)."""
+        workload_rows = [r for r in fig6_tlb.rows if not r[0].startswith("Avg_")]
+        values = {row[0]: row[1] for row in workload_rows}
+        assert max(values, key=values.get) == "BFS"
+        assert values["BFS"] > 10 * values["Nutch Server"]
+        assert max(values.values()) > 20 * min(values.values())
+
+
+class TestC5LevelThreeCache:
+    """C5: FP intensity on the E5645 exceeds the E5310 (L3 at work)."""
+
+    def test_bigdata_intensity_higher_with_l3(self, harness, harness_e5310):
+        on_new = _bigdata_events(harness)
+        on_old = _bigdata_events(harness_e5310)
+        assert on_new.fp_intensity > on_old.fp_intensity
+        assert on_new.int_intensity > on_old.int_intensity
+
+    def test_figure5_reports_both_machines(self, harness, harness_e5310):
+        fig51, fig52 = figure5(harness, harness_e5310,
+                               names=["Sort", "K-means", "WordCount"])
+        assert fig51.headers == ["Workload", "E5310", "E5645"]
+        sort_row = fig51.row_for("Sort")
+        assert sort_row[2] >= sort_row[1]  # E5645 >= E5310
+
+
+class TestC2DataVolume:
+    """C2: data volume has a non-negligible micro-architectural impact."""
+
+    #: Endpoints of the Table 6 sweep; the full 5-point sweep runs in
+    #: benchmarks/bench_fig2/bench_fig3.
+    SCALES = (1, 32)
+
+    @pytest.fixture(scope="class")
+    def sweep_pairs(self, harness):
+        names = ["Grep", "K-means", "Sort", "WordCount"]
+        return {
+            name: (harness.characterize(name, scale=self.SCALES[0]),
+                   harness.characterize(name, scale=self.SCALES[1]))
+            for name in names
+        }
+
+    def test_volume_moves_microarch_metrics(self, sweep_pairs):
+        """Some workload must move noticeably in MIPS or L3 MPKI."""
+        moved = 0
+        for small, large in sweep_pairs.values():
+            mips_gap = large.mips / max(small.mips, 1e-9)
+            l3_gap = (large.events.l3_mpki + 1e-9) / (small.events.l3_mpki + 1e-9)
+            if not (0.8 < mips_gap < 1.25) or not (0.8 < l3_gap < 1.25):
+                moved += 1
+        assert moved >= 2
+
+    def test_kmeans_l3_grows_with_volume(self, sweep_pairs):
+        small, large = sweep_pairs["K-means"]
+        assert large.events.l3_mpki > 1.3 * small.events.l3_mpki
+
+    def test_trends_differ_across_workloads(self, sweep_pairs):
+        """Different workloads show different performance trends."""
+        gaps = [
+            large.result.metric_value / max(small.result.metric_value, 1e-9)
+            for small, large in sweep_pairs.values()
+        ]
+        assert max(gaps) > 1.2 * min(gaps)

@@ -1,0 +1,95 @@
+"""Property-based tests for the MapReduce engine's core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapreduce import Dfs, MapReduceJob, MapReduceRuntime, OpCost
+from repro.cluster import ClusterSpec
+
+SMALL = ClusterSpec(num_nodes=2)
+
+
+class CountJob(MapReduceJob):
+    name = "prop-count"
+    use_combiner = True
+
+    def record_count(self, split):
+        return len(split.payload)
+
+    def map_batch(self, split, ctx):
+        tokens = split.payload
+        return tokens.astype(np.int64), np.ones(len(tokens), dtype=np.int64)
+
+    def reduce_batch(self, keys, values, starts, ctx):
+        return keys, np.add.reduceat(values, starts)
+
+
+class IdentitySortJob(MapReduceJob):
+    name = "prop-sort"
+    partitioner = "range"
+    group_by_key = False
+
+    def record_count(self, split):
+        return len(split.payload)
+
+    def map_batch(self, split, ctx):
+        return split.payload.astype(np.int64), None
+
+
+tokens_strategy = st.lists(
+    st.integers(min_value=0, max_value=200), min_size=1, max_size=2000
+)
+
+
+@given(tokens_strategy)
+@settings(max_examples=25, deadline=None)
+def test_wordcount_conserves_records(tokens):
+    """Sum of output counts equals the number of input records, and each
+    key's count matches numpy's bincount -- for any input."""
+    data = np.asarray(tokens, dtype=np.int64)
+    file = Dfs(block_size=4096).put("in", data, max(1, len(data) * 8))
+    result = MapReduceRuntime(cluster=SMALL).run(CountJob(), file)
+    assert result.output_values.sum() == len(data)
+    expected = np.bincount(data, minlength=201)
+    got = dict(zip(result.output_keys.tolist(), result.output_values.tolist()))
+    for key, count in got.items():
+        assert expected[key] == count
+
+
+@given(tokens_strategy)
+@settings(max_examples=25, deadline=None)
+def test_sort_is_a_permutation_in_order(tokens):
+    """Range-partitioned sort outputs exactly the input multiset, sorted."""
+    data = np.asarray(tokens, dtype=np.int64)
+    file = Dfs(block_size=4096).put("in", data, max(1, len(data) * 8))
+    result = MapReduceRuntime(cluster=SMALL).run(IdentitySortJob(), file)
+    assert np.array_equal(result.output_keys, np.sort(data))
+
+
+@given(tokens_strategy, st.integers(min_value=1, max_value=7))
+@settings(max_examples=20, deadline=None)
+def test_reducer_count_does_not_change_results(tokens, reducers):
+    data = np.asarray(tokens, dtype=np.int64)
+    file = Dfs(block_size=4096).put("in", data, max(1, len(data) * 8))
+    result = MapReduceRuntime(cluster=SMALL, num_reducers=reducers).run(
+        CountJob(), file
+    )
+    assert result.output_values.sum() == len(data)
+
+
+@given(tokens_strategy)
+@settings(max_examples=15, deadline=None)
+def test_combiner_is_transparent(tokens):
+    """With and without the combiner, the reduced output is identical."""
+    data = np.asarray(tokens, dtype=np.int64)
+
+    def run(use_combiner):
+        job = CountJob()
+        job.use_combiner = use_combiner
+        file = Dfs(block_size=2048).put("in", data, max(1, len(data) * 8))
+        result = MapReduceRuntime(cluster=SMALL).run(job, file)
+        return dict(zip(result.output_keys.tolist(),
+                        result.output_values.tolist()))
+
+    assert run(True) == run(False)

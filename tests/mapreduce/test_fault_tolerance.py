@@ -1,0 +1,74 @@
+"""Tests for task-failure injection in the MapReduce runtime."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.mapreduce import Dfs, MapReduceJob, MapReduceRuntime
+from repro.uarch import PerfContext, XEON_E5645
+
+SMALL = ClusterSpec(num_nodes=2)
+
+
+class CountJob(MapReduceJob):
+    name = "ft-count"
+    use_combiner = True
+
+    def record_count(self, split):
+        return len(split.payload)
+
+    def map_batch(self, split, ctx):
+        tokens = split.payload
+        return tokens.astype(np.int64), np.ones(len(tokens), dtype=np.int64)
+
+    def reduce_batch(self, keys, values, starts, ctx):
+        return keys, np.add.reduceat(values, starts)
+
+
+def run(failure_rate, ctx=None, seed=1):
+    data = np.arange(20_000) % 31
+    file = Dfs(block_size=64 * 1024).put("in", data, 1024 * 1024)  # 16 splits
+    runtime = MapReduceRuntime(cluster=SMALL, ctx=ctx,
+                               task_failure_rate=failure_rate,
+                               failure_seed=seed)
+    return runtime.run(CountJob(), file)
+
+
+class TestFaultTolerance:
+    def test_results_correct_despite_failures(self):
+        clean = run(0.0)
+        faulty = run(0.5)
+        assert np.array_equal(clean.output_keys, faulty.output_keys)
+        assert np.array_equal(clean.output_values, faulty.output_values)
+
+    def test_retries_counted(self):
+        faulty = run(0.5)
+        assert faulty.counters.get("task_retries") > 0
+        clean = run(0.0)
+        assert clean.counters.get("task_retries") == 0
+
+    def test_failures_cost_extra_work(self):
+        def instructions(rate):
+            ctx = PerfContext(XEON_E5645, seed=0)
+            run(rate, ctx=ctx)
+            return ctx.finalize().events.instructions
+
+        assert instructions(0.6) > 1.2 * instructions(0.0)
+
+    def test_failures_cost_extra_time(self):
+        from repro.cluster.timemodel import TimeModel
+
+        tm = TimeModel(data_scale=8192)
+        assert tm.job_time(run(0.6).cost) > tm.job_time(run(0.0).cost)
+
+    def test_attempts_bounded(self):
+        runtime = MapReduceRuntime(cluster=SMALL, task_failure_rate=0.99,
+                                   failure_seed=3)
+        from repro.mapreduce.counters import Counters
+
+        attempts = [runtime._map_attempts(Counters()) for _ in range(50)]
+        assert max(attempts) <= runtime.MAX_ATTEMPTS
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            MapReduceRuntime(task_failure_rate=1.0)

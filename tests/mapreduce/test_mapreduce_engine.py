@@ -1,0 +1,190 @@
+"""Unit and integration tests for the MapReduce engine."""
+
+import numpy as np
+import pytest
+
+from repro.mapreduce import (
+    Counters,
+    Dfs,
+    MapReduceJob,
+    MapReduceRuntime,
+    OpCost,
+)
+from repro.cluster import ClusterSpec
+from repro.uarch import PerfContext, XEON_E5645
+
+
+class WordCountJob(MapReduceJob):
+    """Classic wordcount over a token-id array."""
+
+    name = "wordcount-test"
+    use_combiner = True
+    map_cost = OpCost(int_ops=25, branch_ops=8, rand_writes=1)
+
+    def record_count(self, split):
+        return len(split.payload)
+
+    def map_batch(self, split, ctx):
+        tokens = split.payload
+        return tokens.astype(np.int64), np.ones(len(tokens), dtype=np.int64)
+
+    def reduce_batch(self, keys, values, starts, ctx):
+        sums = np.add.reduceat(values, starts) if len(keys) else values
+        return keys, sums
+
+
+class SortJob(MapReduceJob):
+    """Identity map, range partitioning, identity reduce: TeraSort."""
+
+    name = "sort-test"
+    partitioner = "range"
+    group_by_key = False
+
+    def record_count(self, split):
+        return len(split.payload)
+
+    def map_batch(self, split, ctx):
+        return split.payload.astype(np.int64), None
+
+
+def make_dfs_file(values, nbytes=1 * 1024 * 1024):
+    dfs = Dfs()
+    return dfs.put("input", np.asarray(values), nbytes)
+
+
+class TestCounters:
+    def test_add_and_get(self):
+        counters = Counters()
+        counters.add("x", 2)
+        counters.add("x", 3)
+        assert counters.get("x") == 5
+        assert counters.get("missing") == 0
+        assert "x" in counters
+        assert counters.as_dict() == {"x": 5}
+
+
+class TestDfs:
+    def test_put_get_delete(self):
+        dfs = Dfs()
+        dfs.put("a", np.arange(3), 100)
+        assert dfs.exists("a")
+        assert dfs.get("a").nbytes == 100
+        dfs.delete("a")
+        assert not dfs.exists("a")
+        with pytest.raises(KeyError):
+            dfs.get("a")
+
+    def test_array_payload_splits_evenly(self):
+        dfs = Dfs(block_size=64)
+        file = dfs.put("a", np.arange(100), 200)
+        splits = file.splits()
+        assert len(splits) == 4  # ceil(200/64)
+        recovered = np.concatenate([s.payload for s in splits])
+        assert np.array_equal(recovered, np.arange(100))
+
+    def test_non_array_multi_split_requires_slicer(self):
+        dfs = Dfs(block_size=64)
+        file = dfs.put("a", {"not": "array"}, 200)
+        with pytest.raises(ValueError):
+            file.splits()
+        splits = file.splits(slicer=lambda p, i, n: p)
+        assert len(splits) == 4
+
+    def test_negative_nbytes_rejected(self):
+        with pytest.raises(ValueError):
+            Dfs().put("a", None, -1)
+
+
+class TestWordCount:
+    def test_counts_are_exact(self):
+        rng = np.random.default_rng(0)
+        tokens = rng.integers(0, 50, size=10_000)
+        result = MapReduceRuntime().run(WordCountJob(), make_dfs_file(tokens))
+        expected = np.bincount(tokens, minlength=50)
+        got = dict(zip(result.output_keys.tolist(), result.output_values.tolist()))
+        for word in range(50):
+            assert got.get(word, 0) == expected[word]
+
+    def test_multi_split_correctness(self):
+        """Counts survive splitting across many blocks."""
+        rng = np.random.default_rng(1)
+        tokens = rng.integers(0, 20, size=5_000)
+        dfs = Dfs(block_size=256 * 1024)
+        file = dfs.put("input", tokens, 2 * 1024 * 1024)  # 8 splits
+        result = MapReduceRuntime().run(WordCountJob(), file)
+        assert result.output_values.sum() == len(tokens)
+
+    def test_combiner_shrinks_shuffle(self):
+        rng = np.random.default_rng(2)
+        tokens = rng.integers(0, 10, size=8_000)
+
+        with_combiner = MapReduceRuntime().run(WordCountJob(), make_dfs_file(tokens))
+
+        job = WordCountJob()
+        job.use_combiner = False
+        without = MapReduceRuntime().run(job, make_dfs_file(tokens))
+        assert (
+            with_combiner.counters.get("map_output_records")
+            < without.counters.get("map_output_records")
+        )
+        assert with_combiner.counters.get("shuffle_bytes") < without.counters.get(
+            "shuffle_bytes"
+        )
+
+    def test_counters_populated(self):
+        tokens = np.arange(100) % 7
+        result = MapReduceRuntime().run(WordCountJob(), make_dfs_file(tokens))
+        counters = result.counters
+        assert counters.get("map_input_records") == 100
+        assert counters.get("reduce_output_records") == 7
+        assert counters.get("shuffle_bytes") > 0
+
+
+class TestSort:
+    def test_output_globally_sorted(self):
+        rng = np.random.default_rng(3)
+        data = rng.integers(0, 1 << 40, size=20_000)
+        result = MapReduceRuntime().run(SortJob(), make_dfs_file(data))
+        assert len(result.output_keys) == len(data)
+        assert np.all(np.diff(result.output_keys) >= 0)
+        assert np.array_equal(np.sort(data), result.output_keys)
+
+    def test_identity_reduce_keeps_duplicates(self):
+        data = np.array([5, 3, 5, 5, 1])
+        result = MapReduceRuntime().run(SortJob(), make_dfs_file(data))
+        assert result.output_keys.tolist() == [1, 3, 5, 5, 5]
+
+
+class TestProfiling:
+    def test_profiled_run_produces_events(self):
+        ctx = PerfContext(XEON_E5645, seed=0)
+        rng = np.random.default_rng(4)
+        tokens = rng.integers(0, 1000, size=50_000)
+        runtime = MapReduceRuntime(ctx=ctx)
+        runtime.run(WordCountJob(), make_dfs_file(tokens, nbytes=4 * 1024 * 1024))
+        report = ctx.finalize()
+        events = report.events
+        assert events.instructions > 1e6
+        assert events.int_ops > events.fp_ops  # analytics is integer-dominated
+        assert events.l1i_misses > 0           # deep framework stack
+        assert report.mips > 0
+
+    def test_unprofiled_run_is_functional(self):
+        tokens = np.arange(1000) % 13
+        result = MapReduceRuntime().run(WordCountJob(), make_dfs_file(tokens))
+        assert result.output_records == 13
+
+    def test_cost_phases(self):
+        tokens = np.arange(5000) % 11
+        result = MapReduceRuntime().run(WordCountJob(), make_dfs_file(tokens))
+        names = [p.name for p in result.cost.phases]
+        assert names == ["job-setup", "map", "reduce"]
+        assert result.cost.phases[0].fixed_seconds > 0
+        assert result.cost.phases[1].disk_read_bytes == result.input_bytes
+        assert result.cost.total_shuffle_bytes > 0
+
+    def test_reducer_count_configurable(self):
+        runtime = MapReduceRuntime(ClusterSpec(num_nodes=2), num_reducers=3)
+        assert runtime.num_reducers == 3
+        runtime_default = MapReduceRuntime(ClusterSpec(num_nodes=2))
+        assert runtime_default.num_reducers == 4

@@ -1,0 +1,123 @@
+"""Unit tests for the BSP/MPI engine."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import BspProgram, BspRuntime, Communicator
+from repro.uarch import PerfContext, XEON_E5645
+
+
+class RingSum(BspProgram):
+    """Pass a token around the ring once, accumulating rank ids."""
+
+    name = "ring"
+
+    def init_rank(self, rank, num_ranks, ctx):
+        return {"value": None, "done": False}
+
+    def superstep(self, step, rank, state, inbox, comm, ctx):
+        ctx.int_ops(10)
+        if step == 0 and rank == 0:
+            comm.send(1 % comm.num_ranks, np.array([0]))
+            return True
+        for payload in inbox:
+            total = int(payload[0]) + rank
+            if rank == 0:
+                state["value"] = total
+                state["done"] = True
+                return False
+            comm.send((rank + 1) % comm.num_ranks, np.array([total]))
+            return True
+        return False
+
+
+class Broadcast(BspProgram):
+    """Rank 0 broadcasts an array; everyone stores it."""
+
+    name = "bcast"
+
+    def __init__(self, data):
+        self.data = data
+
+    def init_rank(self, rank, num_ranks, ctx):
+        return {"received": None}
+
+    def superstep(self, step, rank, state, inbox, comm, ctx):
+        if step == 0:
+            if rank == 0:
+                for dst in range(comm.num_ranks):
+                    if dst != 0:
+                        comm.send(dst, self.data)
+                state["received"] = self.data
+            return step == 0 and rank == 0
+        for payload in inbox:
+            state["received"] = payload
+        return False
+
+    def input_bytes(self):
+        return 1024
+
+
+class TestCommunicator:
+    def test_send_and_drain(self):
+        comm = Communicator(0, 4)
+        comm.send(2, np.array([1, 2, 3]))
+        comm.send(2, np.array([4]))
+        out = comm.drain()
+        assert len(out[2]) == 2
+        assert comm.drain() == {}
+
+    def test_self_send_not_counted_as_network(self):
+        comm = Communicator(1, 4)
+        comm.send(1, np.array([1, 2, 3]))
+        assert comm.bytes_sent == 0
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValueError):
+            Communicator(0, 2).send(5, np.array([1]))
+
+
+class TestBspRuntime:
+    def test_ring_sum(self):
+        runtime = BspRuntime(num_ranks=5)
+        result = runtime.run(RingSum())
+        # Token visits ranks 1..4 then returns to 0: sum = 1+2+3+4 = 10.
+        assert result.states[0]["value"] == 10
+        assert result.supersteps == 6
+
+    def test_broadcast_delivers_everywhere(self):
+        data = np.arange(100)
+        result = BspRuntime(num_ranks=4).run(Broadcast(data))
+        for state in result.states:
+            assert np.array_equal(state["received"], data)
+
+    def test_communication_accounted(self):
+        data = np.arange(1000)
+        result = BspRuntime(num_ranks=4).run(Broadcast(data))
+        assert result.bytes_communicated == 3 * data.nbytes
+        assert result.cost.total_shuffle_bytes == pytest.approx(3 * data.nbytes)
+
+    def test_load_phase_charges_input(self):
+        result = BspRuntime(num_ranks=2).run(Broadcast(np.arange(10)))
+        load = result.cost.phases[0]
+        assert load.name == "load"
+        assert load.disk_read_bytes == 1024
+
+    def test_profiled_run(self):
+        ctx = PerfContext(XEON_E5645, seed=0)
+        BspRuntime(num_ranks=5, ctx=ctx).run(RingSum())
+        events = ctx.finalize().events
+        assert events.int_ops > 0
+
+    def test_max_supersteps_bound(self):
+        class Forever(BspProgram):
+            name = "forever"
+
+            def init_rank(self, rank, num_ranks, ctx):
+                return None
+
+            def superstep(self, step, rank, state, inbox, comm, ctx):
+                return True
+
+        result = BspRuntime(num_ranks=2, max_supersteps=7).run(Forever())
+        assert result.supersteps == 7

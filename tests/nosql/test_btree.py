@@ -1,0 +1,126 @@
+"""Unit and property tests for the B+ tree store."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nosql import BTreeStore
+from repro.nosql.btree import ORDER
+from repro.uarch import PerfContext, XEON_E5645
+
+
+def key(i: int) -> bytes:
+    return f"row:{i:08d}".encode()
+
+
+class TestBTreeBasics:
+    def test_get_after_put(self):
+        store = BTreeStore()
+        put = store.put(key(1), 500)
+        assert store.get(key(1)) == put
+
+    def test_get_missing(self):
+        store = BTreeStore()
+        assert store.get(key(9)) is None
+        assert store.stats.get_misses == 1
+
+    def test_overwrite_keeps_record_count(self):
+        store = BTreeStore()
+        store.put(key(1), 100)
+        newer = store.put(key(1), 300)
+        assert store.num_records == 1
+        assert store.get(key(1)) == newer
+
+    def test_splits_grow_height(self):
+        store = BTreeStore()
+        for i in range(ORDER * ORDER):
+            store.put(key(i), 10)
+        assert store.height >= 2
+        # Every key still reachable after all the splits.
+        for i in range(0, ORDER * ORDER, 97):
+            assert store.get(key(i)) is not None
+
+    def test_delete_tombstones(self):
+        store = BTreeStore()
+        store.put(key(5), 100)
+        store.delete(key(5))
+        assert store.get(key(5)) is None
+        assert store.num_records == 1  # lazy deletion
+
+    def test_scan_ordered_across_leaves(self):
+        store = BTreeStore()
+        for i in range(ORDER * 3):
+            store.put(key(i), 10)
+        rows = store.scan(key(ORDER - 5), limit=20)
+        keys = [k for k, _ in rows]
+        assert len(keys) == 20
+        assert keys == sorted(keys)
+        assert keys[0] == key(ORDER - 5)
+
+    def test_scan_skips_tombstones(self):
+        store = BTreeStore()
+        for i in range(10):
+            store.put(key(i), 10)
+        store.delete(key(3))
+        keys = [k for k, _ in store.scan(key(0), limit=10)]
+        assert key(3) not in keys
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            BTreeStore().put(key(1), -1)
+
+    def test_profiled_ops(self):
+        ctx = PerfContext(XEON_E5645, seed=0)
+        store = BTreeStore(ctx=ctx)
+        for i in range(300):
+            store.put(key(i), 200)
+        for i in range(300):
+            store.get(key(i))
+        events = ctx.finalize().events
+        assert events.instructions > 1e6
+        assert events.l1i_misses > 0
+
+
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["put", "get", "delete"]),
+        st.integers(min_value=0, max_value=300),
+    ),
+    min_size=1, max_size=400,
+)
+
+
+@given(ops_strategy)
+@settings(max_examples=30, deadline=None)
+def test_btree_matches_dict_semantics(ops):
+    """Any put/get/delete sequence behaves exactly like a dict."""
+    store = BTreeStore()
+    reference: dict = {}
+    for op, i in ops:
+        if op == "put":
+            value = store.put(key(i), 64 + i)
+            reference[key(i)] = value
+        elif op == "delete":
+            store.delete(key(i))
+            reference.pop(key(i), None)
+        else:
+            got = store.get(key(i))
+            assert got == reference.get(key(i))
+    # Full scan equals the sorted live reference.
+    rows = store.scan(b"", limit=10_000)
+    assert [k for k, _ in rows] == sorted(reference)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=5000), min_size=1,
+                max_size=600, unique=True))
+@settings(max_examples=15, deadline=None)
+def test_btree_invariants_under_bulk_load(indices):
+    store = BTreeStore()
+    for i in indices:
+        store.put(key(i), 10)
+    assert store.num_records == len(indices)
+    rows = store.scan(b"", limit=len(indices) + 10)
+    assert len(rows) == len(indices)
+    keys = [k for k, _ in rows]
+    assert keys == sorted(keys)

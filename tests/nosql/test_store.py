@@ -1,0 +1,182 @@
+"""Unit tests for the LSM store, SSTables, and Bloom filters."""
+
+import pytest
+
+from repro.nosql import BloomFilter, LsmStore, SSTable, StoreConfig, Value
+from repro.uarch import PerfContext, XEON_E5645
+
+
+def key(i: int) -> bytes:
+    return f"row:{i:08d}".encode()
+
+
+class TestBloomFilter:
+    def test_added_keys_always_found(self):
+        bloom = BloomFilter(expected_items=100)
+        for i in range(100):
+            bloom.add(key(i))
+        assert all(bloom.might_contain(key(i)) for i in range(100))
+
+    def test_false_positive_rate_reasonable(self):
+        bloom = BloomFilter(expected_items=1000)
+        for i in range(1000):
+            bloom.add(key(i))
+        false_hits = sum(bloom.might_contain(key(i)) for i in range(1000, 11000))
+        assert false_hits / 10000 < 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BloomFilter(expected_items=0)
+
+
+class TestSSTable:
+    def _items(self, n=10):
+        return [(key(i), Value(size=100, stamp=i)) for i in range(n)]
+
+    def test_point_get(self):
+        table = SSTable(self._items(), generation=1)
+        assert table.get(key(3)).stamp == 3
+        assert table.get(key(99)) is None
+
+    def test_range_from(self):
+        table = SSTable(self._items(), generation=1)
+        rows = table.range_from(key(4), limit=3)
+        assert [k for k, _ in rows] == [key(4), key(5), key(6)]
+
+    def test_rejects_unsorted(self):
+        items = [(key(2), Value(1, 1)), (key(1), Value(1, 1))]
+        with pytest.raises(ValueError):
+            SSTable(items, generation=1)
+
+    def test_rejects_duplicates(self):
+        items = [(key(1), Value(1, 1)), (key(1), Value(1, 2))]
+        with pytest.raises(ValueError):
+            SSTable(items, generation=1)
+
+
+class TestLsmStore:
+    def test_get_after_put(self):
+        store = LsmStore()
+        put_value = store.put(key(1), 500)
+        got = store.get(key(1))
+        assert got == put_value
+        assert got.size == 500
+
+    def test_get_missing(self):
+        store = LsmStore()
+        assert store.get(key(42)) is None
+        assert store.stats.get_misses == 1
+
+    def test_overwrite_latest_wins(self):
+        store = LsmStore()
+        store.put(key(1), 100)
+        newer = store.put(key(1), 200)
+        assert store.get(key(1)) == newer
+
+    def test_get_after_flush(self):
+        store = LsmStore()
+        for i in range(50):
+            store.put(key(i), 100)
+        store.flush()
+        assert store.num_sstables >= 1
+        assert store.get(key(25)).size == 100
+
+    def test_overwrite_across_flush(self):
+        store = LsmStore()
+        store.put(key(7), 100)
+        store.flush()
+        newer = store.put(key(7), 300)
+        store.flush()
+        assert store.get(key(7)) == newer
+
+    def test_delete_tombstone(self):
+        store = LsmStore()
+        store.put(key(1), 100)
+        store.flush()
+        store.delete(key(1))
+        assert store.get(key(1)) is None
+        store.flush()
+        assert store.get(key(1)) is None
+
+    def test_automatic_flush_on_budget(self):
+        store = LsmStore(config=StoreConfig(memtable_budget=4096))
+        for i in range(100):
+            store.put(key(i), 100)
+        assert store.stats.flushes > 0
+
+    def test_compaction_merges_runs(self):
+        store = LsmStore(config=StoreConfig(memtable_budget=1024, compaction_trigger=4))
+        for i in range(200):
+            store.put(key(i % 40), 100)
+        assert store.stats.compactions > 0
+        assert store.num_sstables < 4
+        # All live keys still readable after compaction.
+        for i in range(40):
+            assert store.get(key(i)) is not None
+
+    def test_compaction_drops_tombstones(self):
+        store = LsmStore(config=StoreConfig(memtable_budget=512, compaction_trigger=2))
+        store.put(key(1), 100)
+        store.flush()
+        store.delete(key(1))
+        store.flush()  # triggers compaction at 2 runs
+        assert store.stats.compactions >= 1
+        assert store.get(key(1)) is None
+
+    def test_scan_ordered_and_live(self):
+        store = LsmStore()
+        for i in (5, 3, 9, 1, 7):
+            store.put(key(i), 100)
+        store.flush()
+        store.delete(key(5))
+        rows = store.scan(key(0), limit=10)
+        keys = [k for k, _ in rows]
+        assert keys == sorted(keys)
+        assert key(5) not in keys
+        assert key(3) in keys
+
+    def test_scan_merges_memtable_over_sstable(self):
+        store = LsmStore()
+        store.put(key(2), 100)
+        store.flush()
+        fresh = store.put(key(2), 777)
+        rows = dict(store.scan(key(0), limit=10))
+        assert rows[key(2)] == fresh
+
+    def test_scan_limit(self):
+        store = LsmStore()
+        for i in range(20):
+            store.put(key(i), 10)
+        assert len(store.scan(key(0), limit=5)) == 5
+        assert store.scan(key(0), limit=0) == []
+
+    def test_bloom_skips_absent_tables(self):
+        store = LsmStore()
+        for i in range(100):
+            store.put(key(i), 50)
+        store.flush()
+        for i in range(1000, 1100):
+            store.get(key(i))
+        assert store.stats.bloom_skips > 80
+
+    def test_stats_and_bytes(self):
+        store = LsmStore()
+        store.put(key(1), 100)
+        assert store.stats.puts == 1
+        assert store.stats.wal_bytes > 0
+        assert store.total_bytes > 0
+
+    def test_profiled_ops(self):
+        ctx = PerfContext(XEON_E5645, seed=0)
+        store = LsmStore(ctx=ctx)
+        for i in range(200):
+            store.put(key(i), 200)
+        for i in range(200):
+            store.get(key(i))
+        events = ctx.finalize().events
+        assert events.int_ops > 1e5
+        assert events.l1i_misses > 0
+
+    def test_negative_value_size_rejected(self):
+        with pytest.raises(ValueError):
+            LsmStore().put(key(1), -5)

@@ -1,0 +1,46 @@
+"""Extended queueing-model tests: percentiles and sweep shapes."""
+
+import pytest
+
+from repro.serving import mm_c
+
+
+class TestSweepShape:
+    def test_throughput_linear_then_capped(self):
+        service, servers = 0.004, 12
+        capacity = servers / service
+        rates = [capacity * f for f in (0.2, 0.5, 0.9, 1.2, 2.0)]
+        results = [mm_c(r, service, servers) for r in rates]
+        # Linear region.
+        for rate, result in zip(rates[:3], results[:3]):
+            assert result.throughput_rps == pytest.approx(rate)
+        # Saturated region.
+        for result in results[3:]:
+            assert result.throughput_rps == pytest.approx(capacity)
+
+    def test_latency_knee_near_saturation(self):
+        service, servers = 0.002, 12
+        capacity = servers / service
+        low = mm_c(0.3 * capacity, service, servers).mean_latency
+        high = mm_c(0.95 * capacity, service, servers).mean_latency
+        assert high > 2 * low
+
+    def test_more_servers_lower_latency(self):
+        few = mm_c(1000, 0.005, 8)
+        many = mm_c(1000, 0.005, 24)
+        assert many.mean_latency < few.mean_latency
+
+    def test_percentiles_scale_with_mean(self):
+        result = mm_c(100, 0.003, 12)
+        assert result.p99_latency > result.p95_latency > result.mean_latency
+        assert result.p95_latency == pytest.approx(
+            result.latency_percentile(0.95)
+        )
+
+    def test_saturated_latency_grows_with_overload(self):
+        service, servers = 0.004, 12
+        capacity = servers / service
+        mild = mm_c(1.2 * capacity, service, servers)
+        severe = mm_c(3.0 * capacity, service, servers)
+        assert severe.mean_latency > mild.mean_latency
+        assert mild.saturated and severe.saturated

@@ -1,0 +1,136 @@
+"""Unit tests for the Spark-like RDD engine."""
+
+import numpy as np
+import pytest
+
+from repro.mapreduce import Dfs, OpCost
+from repro.spark import SparkContext
+from repro.uarch import PerfContext, XEON_E5645
+
+
+def add_reducer(values, starts):
+    return np.add.reduceat(values, starts)
+
+
+class TestNarrowTransforms:
+    def test_map_partitions(self):
+        sc = SparkContext()
+        rdd = sc.parallelize(np.arange(100)).map_partitions(lambda p, ctx: p * 2)
+        collected = np.concatenate(rdd.collect())
+        assert np.array_equal(np.sort(collected), np.arange(0, 200, 2))
+
+    def test_filter_mask(self):
+        sc = SparkContext()
+        rdd = sc.parallelize(np.arange(100)).filter_mask(lambda p, ctx: p % 2 == 0)
+        assert rdd.count() == 50
+
+    def test_filter_on_pairs(self):
+        sc = SparkContext()
+        keys = np.arange(10)
+        values = np.arange(10) * 10
+        rdd = sc.pair_source(keys, values, nbytes=160).filter_mask(
+            lambda p, ctx: p[0] >= 5
+        )
+        parts = rdd.collect()
+        total = sum(len(k) for k, v in parts)
+        assert total == 5
+
+    def test_count(self):
+        sc = SparkContext()
+        assert sc.parallelize(np.arange(321)).count() == 321
+
+
+class TestWideTransforms:
+    def test_reduce_by_key_sums(self):
+        sc = SparkContext()
+        keys = np.array([1, 2, 1, 3, 2, 1])
+        values = np.array([10, 20, 30, 40, 50, 60])
+        rdd = sc.pair_source(keys, values, nbytes=96).reduce_by_key(add_reducer)
+        merged = {}
+        for part in rdd.collect():
+            k, v = part
+            merged.update(zip(k.tolist(), v.tolist()))
+        assert merged == {1: 100, 2: 70, 3: 40}
+
+    def test_sort_by_key_total_order(self):
+        sc = SparkContext()
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 10_000, size=5_000)
+        rdd = sc.parallelize(data).sort_by_key()
+        parts = rdd.collect()
+        flat = np.concatenate(parts)
+        assert np.array_equal(flat, np.sort(data))
+
+    def test_shuffle_accounted(self):
+        sc = SparkContext()
+        keys = np.arange(1000) % 10
+        values = np.ones(1000)
+        sc.pair_source(keys, values, nbytes=16_000).reduce_by_key(add_reducer).collect()
+        assert sc.cost.total_shuffle_bytes > 0
+
+
+class TestCaching:
+    def test_cache_skips_recompute(self):
+        sc = SparkContext()
+        calls = []
+
+        def tracked(payload, ctx):
+            calls.append(1)
+            return payload
+
+        rdd = sc.parallelize(np.arange(100)).map_partitions(tracked).cache()
+        rdd.collect()
+        first = len(calls)
+        rdd.collect()
+        assert len(calls) == first  # no recompute
+        assert sc.cache_hit_bytes > 0
+
+    def test_uncached_recomputes(self):
+        sc = SparkContext()
+        calls = []
+
+        def tracked(payload, ctx):
+            calls.append(1)
+            return payload
+
+        rdd = sc.parallelize(np.arange(100)).map_partitions(tracked)
+        rdd.collect()
+        first = len(calls)
+        rdd.collect()
+        assert len(calls) == 2 * first
+
+    def test_iterative_job_cheaper_with_cache(self):
+        """The Spark claim: iterating over cached data avoids disk reads."""
+
+        def run(cached: bool) -> float:
+            sc = SparkContext()
+            dfs = Dfs()
+            file = dfs.put("data", np.arange(50_000), 8 * 1024 * 1024)
+            rdd = sc.from_dfs(file)
+            if cached:
+                rdd = rdd.cache()
+            for _ in range(5):
+                rdd.map_partitions(lambda p, ctx: p + 1).count()
+            return sum(p.disk_read_bytes for p in sc.cost.phases)
+
+        assert run(cached=True) < run(cached=False) / 2
+
+
+class TestProfiling:
+    def test_profiled_action_generates_events(self):
+        ctx = PerfContext(XEON_E5645, seed=0)
+        sc = SparkContext(ctx=ctx)
+        data = np.arange(20_000)
+        sc.parallelize(data).map_partitions(
+            lambda p, c: p * 3, cost=OpCost(int_ops=5)
+        ).count()
+        events = ctx.finalize().events
+        assert events.instructions > 1e5
+        assert events.int_ops > 0
+
+    def test_cost_phases_per_action(self):
+        sc = SparkContext()
+        rdd = sc.parallelize(np.arange(10))
+        rdd.count()
+        rdd.count()
+        assert len(sc.cost.phases) == 2

@@ -1,0 +1,168 @@
+"""Unit tests for the SQL engine and operators (vs naive references)."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.table import Table
+from repro.sql import SqlEngine, SqlError
+from repro.sql.operators import Aggregate, Predicate, hash_join
+from repro.uarch import NULL_CONTEXT, PerfContext, XEON_E5645
+
+
+def make_engine(ctx=None):
+    engine = SqlEngine(ctx=ctx)
+    orders = Table("orders", {
+        "ORDER_ID": np.array([1, 2, 3, 4], dtype=np.int64),
+        "BUYER_ID": np.array([10, 20, 10, 30], dtype=np.int64),
+    })
+    items = Table("items", {
+        "ITEM_ID": np.arange(6, dtype=np.int64),
+        "ORDER_ID": np.array([1, 1, 2, 3, 3, 3], dtype=np.int64),
+        "AMOUNT": np.array([5.0, 7.0, 11.0, 1.0, 2.0, 3.0]),
+    })
+    engine.register("orders", orders, nbytes=1000)
+    engine.register("items", items, nbytes=2000)
+    return engine
+
+
+class TestSelectQueries:
+    def test_select_with_filter(self):
+        result = make_engine().execute(
+            "SELECT ORDER_ID FROM orders WHERE BUYER_ID = 10"
+        )
+        assert result.table.column("ORDER_ID").tolist() == [1, 3]
+
+    def test_select_all_columns(self):
+        result = make_engine().execute("SELECT ORDER_ID, BUYER_ID FROM orders")
+        assert result.num_rows == 4
+
+    def test_filter_combinations(self):
+        result = make_engine().execute(
+            "SELECT ITEM_ID FROM items WHERE AMOUNT > 2 AND ORDER_ID < 3"
+        )
+        assert result.table.column("ITEM_ID").tolist() == [0, 1, 2]
+
+    def test_unknown_table(self):
+        with pytest.raises(SqlError):
+            make_engine().execute("SELECT a FROM missing")
+
+    def test_unknown_column(self):
+        with pytest.raises(SqlError):
+            make_engine().execute("SELECT nope FROM orders")
+
+
+class TestAggregateQueries:
+    def test_group_by_sum(self):
+        result = make_engine().execute(
+            "SELECT ORDER_ID, SUM(AMOUNT) AS total FROM items GROUP BY ORDER_ID"
+        )
+        table = result.table
+        totals = dict(zip(table.column("ORDER_ID").tolist(),
+                          table.column("total").tolist()))
+        assert totals == {1: 12.0, 2: 11.0, 3: 6.0}
+
+    def test_count_star(self):
+        result = make_engine().execute("SELECT COUNT(*) AS n FROM items")
+        assert result.table.column("n").tolist() == [6]
+
+    def test_avg_min_max(self):
+        result = make_engine().execute(
+            "SELECT ORDER_ID, AVG(AMOUNT) AS a, MIN(AMOUNT) AS lo, "
+            "MAX(AMOUNT) AS hi FROM items GROUP BY ORDER_ID"
+        )
+        table = result.table
+        row = {k: table.column(k)[2] for k in ("ORDER_ID", "a", "lo", "hi")}
+        assert row == {"ORDER_ID": 3, "a": 2.0, "lo": 1.0, "hi": 3.0}
+
+    def test_aggregate_after_filter(self):
+        result = make_engine().execute(
+            "SELECT COUNT(*) AS n FROM items WHERE AMOUNT >= 5"
+        )
+        assert result.table.column("n").tolist() == [3]
+
+
+class TestJoinQueries:
+    def test_join_with_group_by(self):
+        result = make_engine().execute(
+            "SELECT o.BUYER_ID, SUM(i.AMOUNT) AS spend FROM orders o "
+            "JOIN items i ON o.ORDER_ID = i.ORDER_ID GROUP BY o.BUYER_ID"
+        )
+        table = result.table
+        spend = dict(zip(table.column("orders.BUYER_ID").tolist(),
+                         table.column("spend").tolist()))
+        assert spend == {10: 18.0, 20: 11.0}
+
+    def test_join_row_count(self):
+        result = make_engine().execute(
+            "SELECT o.ORDER_ID, i.ITEM_ID FROM orders o "
+            "JOIN items i ON o.ORDER_ID = i.ORDER_ID"
+        )
+        assert result.num_rows == 6
+        assert result.stats.rows_joined == 6
+
+    def test_join_with_filter(self):
+        result = make_engine().execute(
+            "SELECT o.ORDER_ID, i.AMOUNT FROM orders o "
+            "JOIN items i ON o.ORDER_ID = i.ORDER_ID WHERE i.AMOUNT > 4"
+        )
+        assert result.num_rows == 3
+
+    def test_unqualified_column_in_join_rejected(self):
+        with pytest.raises(SqlError):
+            make_engine().execute(
+                "SELECT AMOUNT FROM orders o JOIN items i ON o.ORDER_ID = i.ORDER_ID"
+            )
+
+
+class TestHashJoinOperator:
+    def test_matches_naive_nested_loop(self):
+        rng = np.random.default_rng(0)
+        left = Table("l", {"k": rng.integers(0, 20, 200), "x": rng.random(200)})
+        right = Table("r", {"k": rng.integers(0, 20, 300), "y": rng.random(300)})
+        joined = hash_join(left, right, "k", "k", NULL_CONTEXT, region="j")
+        naive = sum(
+            int((right.column("k") == lk).sum()) for lk in left.column("k")
+        )
+        assert joined.num_rows == naive
+
+    def test_empty_join(self):
+        left = Table("l", {"k": np.array([1, 2])})
+        right = Table("r", {"k": np.array([3, 4])})
+        joined = hash_join(left, right, "k", "k", NULL_CONTEXT, region="j")
+        assert joined.num_rows == 0
+
+
+class TestStatsAndProfiling:
+    def test_stats_populated(self):
+        result = make_engine().execute("SELECT ORDER_ID FROM orders WHERE BUYER_ID = 10")
+        assert result.stats.rows_scanned == 4
+        assert result.stats.rows_out == 2
+        assert result.stats.input_bytes > 0
+        assert result.stats.tables == ["orders"]
+
+    def test_columnar_scan_charges_only_touched_columns(self):
+        engine = make_engine()
+        narrow = engine.execute("SELECT ORDER_ID FROM items")
+        wide = engine.execute("SELECT ITEM_ID, ORDER_ID, AMOUNT FROM items")
+        assert narrow.stats.input_bytes < wide.stats.input_bytes
+
+    def test_profiled_query(self):
+        ctx = PerfContext(XEON_E5645, seed=0)
+        engine = make_engine(ctx=ctx)
+        engine.execute(
+            "SELECT o.BUYER_ID, SUM(i.AMOUNT) AS s FROM orders o "
+            "JOIN items i ON o.ORDER_ID = i.ORDER_ID GROUP BY o.BUYER_ID"
+        )
+        events = ctx.finalize().events
+        assert events.instructions > 0
+        assert events.int_ops > events.fp_ops
+
+    def test_cost_phase(self):
+        result = make_engine().execute("SELECT COUNT(*) AS n FROM items")
+        assert len(result.cost.phases) == 1
+        assert result.cost.phases[0].disk_read_bytes > 0
+
+    def test_register_validation(self):
+        engine = SqlEngine()
+        with pytest.raises(ValueError):
+            engine.register("t", Table("t"), nbytes=-1)

@@ -1,0 +1,101 @@
+"""Property-based tests: both SQL execution paths vs numpy references."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen.table import Table
+from repro.sql import HiveExecutor, SqlEngine
+
+
+def make_engines(keys, values):
+    table = Table("T", {
+        "K": np.asarray(keys, dtype=np.int64),
+        "V": np.asarray(values, dtype=np.float64),
+    })
+    columnar = SqlEngine()
+    hive = HiveExecutor()
+    for engine in (columnar, hive):
+        engine.register("T", table, max(1, len(keys) * 16))
+    return columnar, hive, table
+
+
+tables = st.integers(min_value=1, max_value=400).flatmap(
+    lambda n: st.tuples(
+        st.lists(st.integers(min_value=0, max_value=20), min_size=n, max_size=n),
+        st.lists(st.integers(min_value=-50, max_value=50), min_size=n, max_size=n),
+    )
+)
+
+
+@given(tables, st.integers(min_value=-60, max_value=60))
+@settings(max_examples=30, deadline=None)
+def test_filter_count_matches_numpy(data, threshold):
+    keys, values = data
+    columnar, hive, table = make_engines(keys, values)
+    sql = f"SELECT COUNT(*) AS n FROM T WHERE V > {threshold}"
+    expected = int((table.column("V") > threshold).sum())
+    assert int(columnar.execute(sql).table.column("n")[0]) == expected
+    assert int(hive.execute(sql).table.column("n")[0]) == expected
+
+
+@given(tables)
+@settings(max_examples=25, deadline=None)
+def test_group_sum_matches_numpy(data):
+    keys, values = data
+    columnar, hive, table = make_engines(keys, values)
+    sql = "SELECT K, SUM(V) AS s FROM T GROUP BY K"
+
+    k = table.column("K")
+    v = table.column("V")
+    expected = {int(key): float(v[k == key].sum()) for key in np.unique(k)}
+
+    for engine in (columnar, hive):
+        result = engine.execute(sql).table
+        got = dict(zip(result.column("K").tolist(),
+                       np.round(result.column("s"), 9).tolist()))
+        assert got.keys() == expected.keys()
+        for key in expected:
+            assert got[key] == pytest.approx(expected[key])
+
+
+@given(tables)
+@settings(max_examples=20, deadline=None)
+def test_min_max_match_numpy(data):
+    keys, values = data
+    columnar, _, table = make_engines(keys, values)
+    result = columnar.execute(
+        "SELECT K, MIN(V) AS lo, MAX(V) AS hi FROM T GROUP BY K"
+    ).table
+    k = table.column("K")
+    v = table.column("V")
+    for key, lo, hi in zip(result.column("K"), result.column("lo"),
+                           result.column("hi")):
+        subset = v[k == key]
+        assert lo == subset.min()
+        assert hi == subset.max()
+
+
+@given(tables, tables)
+@settings(max_examples=15, deadline=None)
+def test_join_row_count_matches_numpy(left_data, right_data):
+    left_keys, left_values = left_data
+    right_keys, right_values = right_data
+    left = Table("L", {
+        "K": np.asarray(left_keys, dtype=np.int64),
+        "A": np.asarray(left_values, dtype=np.float64),
+    })
+    right = Table("R", {
+        "K": np.asarray(right_keys, dtype=np.int64),
+        "B": np.asarray(right_values, dtype=np.float64),
+    })
+    engine = SqlEngine()
+    engine.register("L", left, 1000)
+    engine.register("R", right, 1000)
+    result = engine.execute(
+        "SELECT l.A, r.B FROM L l JOIN R r ON l.K = r.K"
+    )
+    left_counts = np.bincount(left.column("K"), minlength=21)
+    right_counts = np.bincount(right.column("K"), minlength=21)
+    assert result.num_rows == int((left_counts * right_counts).sum())

@@ -1,0 +1,133 @@
+"""Unit tests for the set-associative cache model."""
+
+import pytest
+
+from repro.uarch.cache import Cache, CacheConfig
+
+
+def make_cache(size=1024, ways=2, line=64):
+    return Cache(CacheConfig("test", size, ways=ways, line_size=line))
+
+
+class TestCacheConfig:
+    def test_geometry(self):
+        config = CacheConfig("c", 32 * 1024, ways=4, line_size=64)
+        assert config.num_sets == 128
+        assert config.num_lines == 512
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            CacheConfig("c", 0, ways=1)
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ValueError):
+            CacheConfig("c", 1024, ways=2, line_size=48)
+
+    def test_rejects_indivisible_size(self):
+        with pytest.raises(ValueError):
+            CacheConfig("c", 1000, ways=2, line_size=64)
+
+    def test_scaled_shrinks_capacity_keeps_ways(self):
+        config = CacheConfig("c", 32 * 1024, ways=4, line_size=64)
+        small = config.scaled(8)
+        assert small.size_bytes == 4 * 1024
+        assert small.ways == 4
+        assert small.line_size == 64
+
+    def test_scaled_floors_at_one_set(self):
+        config = CacheConfig("c", 1024, ways=2, line_size=64)
+        tiny = config.scaled(1_000_000)
+        assert tiny.num_sets == 1
+        assert tiny.size_bytes == 2 * 64
+
+    def test_scaled_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            CacheConfig("c", 1024, ways=2).scaled(0)
+
+
+class TestCacheBehavior:
+    def test_first_access_misses(self):
+        cache = make_cache()
+        assert cache.access(0) is False
+        assert cache.misses == 1
+
+    def test_second_access_hits(self):
+        cache = make_cache()
+        cache.access(5)
+        assert cache.access(5) is True
+        assert cache.misses == 1
+        assert cache.hits == 1
+
+    def test_lru_eviction_within_set(self):
+        # 2-way cache with 8 sets: lines 0, 8, 16 map to set 0.
+        cache = make_cache(size=1024, ways=2, line=64)
+        assert cache.config.num_sets == 8
+        cache.access(0)
+        cache.access(8)
+        cache.access(16)  # evicts line 0 (LRU)
+        assert cache.access(8) is True
+        assert cache.access(0) is False  # was evicted
+
+    def test_lru_order_updated_on_hit(self):
+        cache = make_cache(size=1024, ways=2, line=64)
+        cache.access(0)
+        cache.access(8)
+        cache.access(0)   # 0 becomes MRU
+        cache.access(16)  # evicts 8, not 0
+        assert cache.access(0) is True
+        assert cache.access(8) is False
+
+    def test_weighted_stats(self):
+        cache = make_cache()
+        cache.access(0, weight=10.0)
+        cache.access(0, weight=5.0)
+        assert cache.accesses == 15.0
+        assert cache.misses == 10.0
+        assert cache.miss_rate == pytest.approx(10 / 15)
+
+    def test_working_set_within_capacity_all_hits_after_warmup(self):
+        cache = make_cache(size=4096, ways=4, line=64)  # 64 lines
+        lines = list(range(32))
+        for line in lines:
+            cache.access(line)
+        hits = sum(cache.access(line) for line in lines)
+        assert hits == len(lines)
+
+    def test_working_set_beyond_capacity_thrashes(self):
+        cache = make_cache(size=1024, ways=2, line=64)  # 16 lines
+        lines = list(range(64))
+        for _ in range(3):
+            for line in lines:
+                cache.access(line)
+        # Sequential sweep over 4x capacity with LRU: everything misses.
+        assert cache.miss_rate == 1.0
+
+    def test_flush_clears_contents_and_stats(self):
+        cache = make_cache()
+        cache.access(1)
+        cache.flush()
+        assert cache.accesses == 0
+        assert cache.resident_lines == 0
+        assert cache.access(1) is False
+
+    def test_reset_stats_keeps_contents(self):
+        cache = make_cache()
+        cache.access(1)
+        cache.reset_stats()
+        assert cache.accesses == 0
+        assert cache.access(1) is True
+
+    def test_contains_has_no_side_effects(self):
+        cache = make_cache()
+        cache.access(3)
+        before = cache.accesses
+        assert cache.contains(3)
+        assert not cache.contains(4)
+        assert cache.accesses == before
+
+    def test_non_power_of_two_sets_supported(self):
+        # E5645's 12 MB L3 has 12288 sets; modulo indexing must work.
+        cache = Cache(CacheConfig("l3", 12 * 1024 * 1024, ways=16, line_size=64))
+        assert cache.config.num_sets == 12288
+        cache.access(12288 * 3 + 7)
+        assert cache.access(12288 * 3 + 7) is True

@@ -1,0 +1,82 @@
+"""Property-based tests for cache and TLB invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.uarch.cache import Cache, CacheConfig
+from repro.uarch.tlb import Tlb, TlbConfig
+
+line_addrs = st.lists(st.integers(min_value=0, max_value=4095), min_size=1, max_size=300)
+
+
+@given(line_addrs)
+def test_hits_plus_misses_equals_accesses(addrs):
+    cache = Cache(CacheConfig("p", 2048, ways=2, line_size=64))
+    for addr in addrs:
+        cache.access(addr)
+    assert cache.hits + cache.misses == cache.accesses
+    assert 0 <= cache.misses <= cache.accesses
+
+
+@given(line_addrs)
+def test_misses_bounded_below_by_cold_misses(addrs):
+    """At least one miss per distinct line ever touched (no prefetch)."""
+    cache = Cache(CacheConfig("p", 2048, ways=2, line_size=64))
+    for addr in addrs:
+        cache.access(addr)
+    assert cache.misses >= 0
+    # Cold misses: each distinct line must miss at least once.
+    assert cache.misses >= len(set(addrs)) - cache.config.num_lines or cache.misses >= 1
+
+
+@given(line_addrs)
+def test_occupancy_never_exceeds_capacity(addrs):
+    cache = Cache(CacheConfig("p", 1024, ways=2, line_size=64))
+    for addr in addrs:
+        cache.access(addr)
+        assert cache.resident_lines <= cache.config.num_lines
+
+
+@given(line_addrs)
+@settings(max_examples=40)
+def test_bigger_cache_never_misses_more_lru(addrs):
+    """LRU caches have the inclusion property: for the same set-mapping,
+    a cache with more ways never takes more misses."""
+    small = Cache(CacheConfig("s", 1024, ways=2, line_size=64))   # 8 sets
+    large = Cache(CacheConfig("l", 2048, ways=4, line_size=64))   # 8 sets, more ways
+    for addr in addrs:
+        small.access(addr)
+        large.access(addr)
+    assert large.misses <= small.misses
+
+
+@given(line_addrs)
+def test_replaying_stream_is_deterministic(addrs):
+    first = Cache(CacheConfig("a", 2048, ways=2, line_size=64))
+    second = Cache(CacheConfig("a", 2048, ways=2, line_size=64))
+    results_first = [first.access(a) for a in addrs]
+    results_second = [second.access(a) for a in addrs]
+    assert results_first == results_second
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1 << 24), min_size=1, max_size=300))
+def test_tlb_stats_consistent(addrs):
+    tlb = Tlb(TlbConfig("p", entries=8))
+    for addr in addrs:
+        tlb.access(addr)
+    assert 0 <= tlb.misses <= tlb.accesses
+    distinct_pages = len({a >> 12 for a in addrs})
+    assert tlb.misses >= min(distinct_pages, 1)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=200))
+def test_tlb_small_working_set_converges_to_hits(addrs):
+    """Replaying a stream whose pages fit in the TLB yields all hits."""
+    pages = {a >> 12 for a in addrs}
+    tlb = Tlb(TlbConfig("p", entries=max(len(pages), 4)))
+    for addr in addrs:
+        tlb.access(addr)
+    tlb.reset_stats()
+    for addr in addrs:
+        tlb.access(addr)
+    assert tlb.misses == 0

@@ -1,0 +1,83 @@
+"""Unit tests for perf-event records and derived metrics."""
+
+import pytest
+
+from repro.uarch.events import PerfEvents, ProfileReport
+
+
+def sample_events():
+    return PerfEvents(
+        loads=400, stores=100, branches=150, int_ops=300, fp_ops=50,
+        mem_bytes=6400,
+        l1i_misses=10, l2_misses=5, l3_misses=2,
+        itlb_misses=1, dtlb_misses=3,
+    )
+
+
+class TestDerivedMetrics:
+    def test_instruction_total(self):
+        assert sample_events().instructions == 1000
+
+    def test_mpki(self):
+        events = sample_events()
+        assert events.l1i_mpki == pytest.approx(10.0)
+        assert events.l2_mpki == pytest.approx(5.0)
+        assert events.l3_mpki == pytest.approx(2.0)
+        assert events.itlb_mpki == pytest.approx(1.0)
+        assert events.dtlb_mpki == pytest.approx(3.0)
+
+    def test_mpki_zero_instructions(self):
+        assert PerfEvents().l1i_mpki == 0.0
+
+    def test_operation_intensity(self):
+        events = sample_events()
+        assert events.fp_intensity == pytest.approx(50 / 6400)
+        assert events.int_intensity == pytest.approx(300 / 6400)
+
+    def test_intensity_zero_traffic(self):
+        assert PerfEvents(fp_ops=10).fp_intensity == 0.0
+
+    def test_int_fp_ratio(self):
+        assert sample_events().int_fp_ratio == pytest.approx(6.0)
+
+    def test_int_fp_ratio_no_fp(self):
+        assert PerfEvents(int_ops=5).int_fp_ratio == float("inf")
+        assert PerfEvents().int_fp_ratio == 0.0
+
+    def test_instruction_mix_sums_to_one(self):
+        mix = sample_events().instruction_mix()
+        assert sum(mix.values()) == pytest.approx(1.0)
+        assert mix["load"] == pytest.approx(0.4)
+        assert mix["fp"] == pytest.approx(0.05)
+
+    def test_instruction_mix_empty(self):
+        mix = PerfEvents().instruction_mix()
+        assert all(v == 0.0 for v in mix.values())
+
+
+class TestMerge:
+    def test_merge_adds_all_fields(self):
+        merged = sample_events().merge(sample_events())
+        assert merged.instructions == 2000
+        assert merged.mem_bytes == 12800
+        assert merged.l3_misses == 4
+
+    def test_merge_does_not_mutate(self):
+        base = sample_events()
+        base.merge(sample_events())
+        assert base.instructions == 1000
+
+    def test_copy_is_independent(self):
+        base = sample_events()
+        cloned = base.copy()
+        cloned.loads += 1
+        assert base.loads == 400
+
+
+class TestProfileReport:
+    def test_mips(self):
+        report = ProfileReport(events=sample_events(), cycles=500, seconds=1e-6)
+        assert report.mips == pytest.approx(1000 / 1e-6 / 1e6)
+
+    def test_mips_zero_time(self):
+        assert ProfileReport(events=sample_events()).mips == 0.0
