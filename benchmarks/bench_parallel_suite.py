@@ -1,0 +1,77 @@
+"""Serial vs parallel vs warm-disk-cache suite execution.
+
+The evaluation matrix (19 workloads x scales x stacks, Section 6) is
+embarrassingly parallel and perfectly repeatable, so the harness offers
+two accelerators: process fan-out (``Harness(jobs=N)``) and the
+persistent disk cache (:mod:`repro.core.diskcache`).  This bench runs
+the same points three ways, checks the event counts are bit-identical,
+and demonstrates the headline win: a warm-cache full-suite pass at
+least 5x faster than the cold serial pass.
+"""
+
+import dataclasses
+import time
+
+from benchmarks.conftest import emit
+from repro.core.diskcache import DiskCache
+from repro.core.harness import Harness
+from repro.core.report import render_table
+
+#: Subset for the serial-vs-parallel leg (spans batch MapReduce, NoSQL,
+#: query, and service workloads); the cache legs run the full suite.
+PARALLEL_SUBSET = ["Sort", "Grep", "Scan", "Select Query", "Nutch Server",
+                   "PageRank"]
+
+
+def _events(points):
+    return [dataclasses.asdict(p.report.events) for p in points]
+
+
+def test_parallel_suite_and_warm_cache(benchmark, tmp_path):
+    cache_root = str(tmp_path / "repro-cache")
+
+    # Cold serial full suite, populating the disk cache as it goes.
+    cold = Harness(cache=DiskCache(root=cache_root))
+    start = time.perf_counter()
+    cold_points = cold.suite()
+    cold_seconds = time.perf_counter() - start
+
+    # Parallel fan-out over a representative subset (no cache, so the
+    # workers really execute), against the same points run serially.
+    serial_subset = [p for p in cold_points
+                     if p.workload in set(PARALLEL_SUBSET)]
+    parallel = Harness(jobs=2)
+    start = time.perf_counter()
+    parallel_points = parallel.suite(names=PARALLEL_SUBSET)
+    parallel_seconds = time.perf_counter() - start
+    by_name = {p.workload: p for p in serial_subset}
+    for point in parallel_points:
+        assert _events([point]) == _events([by_name[point.workload]]), (
+            f"{point.workload}: parallel events differ from serial")
+        assert point.result.metric_value == by_name[point.workload].result.metric_value
+
+    # Warm full suite from the disk cache in a fresh harness.
+    warm = Harness(cache=DiskCache(root=cache_root))
+    start = time.perf_counter()
+    warm_points = benchmark.pedantic(warm.suite, iterations=1, rounds=1)
+    warm_seconds = time.perf_counter() - start
+
+    assert _events(warm_points) == _events(cold_points)
+    assert warm.cache.hits == len(cold_points)
+
+    emit(render_table(
+        ["Configuration", "Points", "Seconds", "Speedup vs cold"],
+        [
+            ["cold serial suite", len(cold_points), f"{cold_seconds:.2f}", "1.0x"],
+            [f"parallel jobs=2 ({len(PARALLEL_SUBSET)} workloads)",
+             len(parallel_points), f"{parallel_seconds:.2f}", "-"],
+            ["warm disk cache", len(warm_points), f"{warm_seconds:.2f}",
+             f"{cold_seconds / max(warm_seconds, 1e-9):.0f}x"],
+        ],
+        title="Suite execution: serial vs parallel vs warm cache",
+    ))
+
+    # The acceptance bar: a warm-cache full-suite pass is >= 5x faster
+    # than the cold serial pass.
+    assert warm_seconds * 5 <= cold_seconds, (
+        f"warm cache {warm_seconds:.2f}s vs cold {cold_seconds:.2f}s")

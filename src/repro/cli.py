@@ -8,9 +8,13 @@ obtain" (Section 2).  This CLI is that surface:
     python -m repro run WordCount --scale 4 --stack spark
     python -m repro sweep Grep
     python -m repro table 4
-    python -m repro figure 6
+    python -m repro figure 6 --jobs 4
     python -m repro roofline Sort K-means
     python -m repro export out/csv
+
+Every harness-backed command accepts ``--jobs N`` (0 = one worker per
+CPU) to fan independent characterization points across processes, and
+``--no-cache`` to bypass the persistent on-disk result cache.
 """
 
 from __future__ import annotations
@@ -33,6 +37,26 @@ def _machine(name: str):
     raise SystemExit(f"unknown machine {name!r}; known: {known}")
 
 
+def _add_exec_options(sub) -> None:
+    """The shared execution flags: process fan-out and cache bypass."""
+    sub.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                     help="worker processes for independent points "
+                          "(0 = one per CPU; default 1 = serial)")
+    sub.add_argument("--no-cache", action="store_true",
+                     help="do not read or write the persistent result cache")
+
+
+def _harness(args, machine=None) -> Harness:
+    """Build a harness honoring ``--jobs`` / ``--no-cache``."""
+    from repro.core.parallel import default_jobs
+
+    jobs = getattr(args, "jobs", 1)
+    if jobs == 0:
+        jobs = default_jobs()
+    cache = not getattr(args, "no_cache", False)
+    return Harness(machine=machine or XEON_E5645, jobs=jobs, cache=cache)
+
+
 def cmd_list(args) -> None:
     rows = []
     for name in registry.workload_names():
@@ -44,7 +68,7 @@ def cmd_list(args) -> None:
 
 
 def cmd_run(args) -> None:
-    harness = Harness(machine=_machine(args.machine))
+    harness = _harness(args, machine=_machine(args.machine))
     outcome = harness.characterize(args.workload, scale=args.scale,
                                    stack=args.stack)
     events = outcome.events
@@ -69,7 +93,7 @@ def cmd_run(args) -> None:
 
 
 def cmd_sweep(args) -> None:
-    harness = Harness(machine=_machine(args.machine))
+    harness = _harness(args, machine=_machine(args.machine))
     rows = []
     for point in harness.sweep(args.workload, scales=SCALE_FACTORS,
                                stack=args.stack):
@@ -89,14 +113,30 @@ def cmd_table(args) -> None:
     print(render_paper_table(f"Table {args.number}"))
 
 
+def _prewarm_figure(harness: Harness, number: str) -> None:
+    """Batch every point a figure needs through ``characterize_many`` so
+    ``--jobs`` fans the whole figure out at once (the generators then hit
+    the memo point by point)."""
+    names = registry.workload_names()
+    if number == "2":
+        harness.characterize_many(
+            [(n, s, None) for n in names for s in (1, 32)])
+    elif number in ("3", "3-1", "3-2"):
+        harness.characterize_many(
+            [(n, s, None) for n in names for s in SCALE_FACTORS])
+    elif number in ("4", "5", "6"):
+        harness.suite()
+
+
 def cmd_figure(args) -> None:
     from repro.analysis import (
         figure2, figure3_mips, figure3_speedup, figure4,
         figure5, figure6_cache, figure6_tlb,
     )
 
-    harness = Harness(machine=XEON_E5645)
+    harness = _harness(args, machine=XEON_E5645)
     number = args.number
+    _prewarm_figure(harness, number)
     if number == "2":
         print(figure2(harness).render())
     elif number in ("3", "3-1"):
@@ -124,17 +164,21 @@ def cmd_figure(args) -> None:
 def cmd_roofline(args) -> None:
     from repro.analysis.roofline import render_roofline, roofline_points
 
-    harness = Harness()
+    harness = _harness(args)
     names = args.workloads or registry.workload_names()
+    harness.suite(names=names)
     print(render_roofline(roofline_points(harness, names)))
 
 
 def cmd_rank(args) -> None:
     from repro.analysis.ranking import render_ranking, score_configuration
 
-    harness = Harness()
+    harness = _harness(args)
     multi = ["Sort", "Grep", "WordCount", "PageRank", "K-means",
              "Connected Components"]
+    harness.characterize_many(
+        [(name, 1, stack) for stack in ("hadoop", "spark", "mpi")
+         for name in multi])
     scores = []
     for stack in ("hadoop", "spark", "mpi"):
         scores.append(score_configuration(
@@ -147,7 +191,12 @@ def cmd_rank(args) -> None:
 def cmd_export(args) -> None:
     from repro.analysis import export_all
 
-    harness = Harness()
+    harness = _harness(args)
+    harness.suite()
+    if args.sweeps:
+        harness.characterize_many(
+            [(n, s, None) for n in registry.workload_names()
+             for s in SCALE_FACTORS])
     written = export_all(harness, args.directory,
                          include_sweeps=args.sweeps)
     for path in written:
@@ -169,34 +218,41 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--scale", type=int, default=1)
     run.add_argument("--stack", default=None)
     run.add_argument("--machine", default="E5645")
+    _add_exec_options(run)
     run.set_defaults(fn=cmd_run)
 
     sweep = sub.add_parser("sweep", help="run the Table 6 data sweep")
     sweep.add_argument("workload")
     sweep.add_argument("--stack", default=None)
     sweep.add_argument("--machine", default="E5645")
+    _add_exec_options(sweep)
     sweep.set_defaults(fn=cmd_sweep)
 
     table = sub.add_parser("table", help="regenerate a paper table (1-7)")
     table.add_argument("number")
+    _add_exec_options(table)
     table.set_defaults(fn=cmd_table)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure (2-6)")
     figure.add_argument("number")
+    _add_exec_options(figure)
     figure.set_defaults(fn=cmd_figure)
 
     roofline = sub.add_parser("roofline", help="roofline placement")
     roofline.add_argument("workloads", nargs="*")
+    _add_exec_options(roofline)
     roofline.set_defaults(fn=cmd_roofline)
 
     rank = sub.add_parser("rank", help="rank stack configurations by "
                                        "suite score")
+    _add_exec_options(rank)
     rank.set_defaults(fn=cmd_rank)
 
     export = sub.add_parser("export", help="dump tables/figures as CSV")
     export.add_argument("directory")
     export.add_argument("--sweeps", action="store_true",
                         help="include the expensive Figure 2/3 sweeps")
+    _add_exec_options(export)
     export.set_defaults(fn=cmd_export)
     return parser
 

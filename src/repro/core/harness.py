@@ -64,13 +64,28 @@ class CharacterizationResult:
 
 
 class Harness:
-    """Runs and memoizes profiled workload executions."""
+    """Runs and memoizes profiled workload executions.
+
+    ``jobs`` > 1 fans :meth:`suite` / :meth:`sweep` points across a
+    process pool (see :mod:`repro.core.parallel`); results are merged
+    back into the in-memory memo, so downstream figure/table code is
+    unchanged and event counts are bit-identical to the serial path.
+    ``cache`` attaches a persistent :class:`~repro.core.diskcache.DiskCache`
+    (pass a DiskCache, or True for the default location) so results
+    survive across processes; it is invalidated automatically when any
+    ``repro`` source file changes.
+    """
 
     def __init__(self, machine: MachineConfig = XEON_E5645,
-                 cluster: ClusterSpec = PAPER_CLUSTER, seed: int = 0):
+                 cluster: ClusterSpec = PAPER_CLUSTER, seed: int = 0,
+                 jobs: int = 1, cache=None):
+        from repro.core.diskcache import resolve_cache
+
         self.machine = machine
         self.cluster = cluster
         self.seed = seed
+        self.jobs = max(1, int(jobs or 1))
+        self.cache = resolve_cache(cache)
         self._cache: dict = {}
         self._inputs: dict = {}
 
@@ -83,8 +98,43 @@ class Harness:
         key = (name, scale, stack_used, machine.name)
         if key in self._cache:
             return self._cache[key]
+        outcome = self._load_cached(name, scale, stack_used, machine)
+        if outcome is None:
+            outcome = self._execute(workload, name, scale, stack_used, machine)
+            self._store_cached(outcome, machine)
+        self._cache[key] = outcome
+        return outcome
 
-        prepared = self._prepared(name, scale)
+    def sweep(self, name: str, scales=SCALE_FACTORS, stack: str = None) -> list:
+        """The paper's data-volume sweep (Table 6 geometry)."""
+        return self.characterize_many([(name, s, stack) for s in scales])
+
+    def suite(self, names=None, scale: int = 1) -> list:
+        """Characterize many workloads at one scale (Figures 4-6 input)."""
+        names = names or registry.workload_names()
+        return self.characterize_many([(name, scale, None) for name in names])
+
+    def characterize_many(self, specs) -> list:
+        """Characterize ``(name, scale, stack)`` triples, in order.
+
+        With ``jobs`` > 1 the points missing from both the memo and the
+        disk cache run concurrently in worker processes first; the final
+        (ordered) result list is then assembled from the memo.
+        """
+        specs = list(specs)
+        if self.jobs > 1 and len(specs) > 1:
+            from repro.core.parallel import parallel_characterize
+
+            parallel_characterize(self, specs)
+        return [self.characterize(name, scale=scale, stack=stack)
+                for name, scale, stack in specs]
+
+    # -- execution and persistent caching --------------------------------------
+
+    def _execute(self, workload, name: str, scale: int, stack_used: str,
+                 machine: MachineConfig) -> CharacterizationResult:
+        """Actually run one profiled point (no memo, no disk cache)."""
+        prepared = self._prepared(name, scale, workload=workload)
         ctx = PerfContext(machine, seed=self.seed)
         result = workload.run(prepared, ctx=ctx, cluster=self.cluster,
                               stack=stack_used)
@@ -92,25 +142,42 @@ class Harness:
             cores_used=self.cluster.total_cores,
             metadata={"workload": name, "scale": scale, "stack": stack_used},
         )
-        outcome = CharacterizationResult(
+        return CharacterizationResult(
             workload=name, scale=scale, stack=stack_used,
             machine=machine.name, report=report, result=result,
         )
-        self._cache[key] = outcome
-        return outcome
 
-    def sweep(self, name: str, scales=SCALE_FACTORS, stack: str = None) -> list:
-        """The paper's data-volume sweep (Table 6 geometry)."""
-        return [self.characterize(name, scale=s, stack=stack) for s in scales]
+    def _disk_key(self, name: str, scale: int, stack_used: str,
+                  machine: MachineConfig) -> tuple:
+        """The persistent-cache key: every input that shapes a result.
 
-    def suite(self, names=None, scale: int = 1) -> list:
-        """Characterize many workloads at one scale (Figures 4-6 input)."""
-        names = names or registry.workload_names()
-        return [self.characterize(name, scale=scale) for name in names]
+        The machine and cluster go in by repr so custom configurations
+        do not collide with the presets sharing their name; the code
+        fingerprint is handled by the cache itself.
+        """
+        return ("characterize", name, scale, stack_used,
+                repr(machine), repr(self.cluster), self.seed)
 
-    def _prepared(self, name: str, scale: int):
+    def _load_cached(self, name: str, scale: int, stack_used: str,
+                     machine: MachineConfig):
+        if self.cache is None:
+            return None
+        return self.cache.get(self._disk_key(name, scale, stack_used, machine))
+
+    def _store_cached(self, outcome: CharacterizationResult,
+                      machine: MachineConfig) -> None:
+        if self.cache is None:
+            return
+        self.cache.put(
+            self._disk_key(outcome.workload, outcome.scale, outcome.stack,
+                           machine),
+            outcome,
+        )
+
+    def _prepared(self, name: str, scale: int, workload=None):
         key = (name, scale)
         if key not in self._inputs:
-            workload = registry.create(name)
+            if workload is None:
+                workload = registry.create(name)
             self._inputs[key] = workload.prepare(scale, seed=self.seed)
         return self._inputs[key]

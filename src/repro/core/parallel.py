@@ -1,0 +1,101 @@
+"""Process-parallel execution of characterization points.
+
+The paper's evaluation matrix -- 19 workloads x several scales x multiple
+stacks, each profiled independently (Section 6) -- is embarrassingly
+parallel, but each point carries seconds of simulation.  This module fans
+the points of :meth:`Harness.suite` / :meth:`Harness.sweep` that are
+missing from both the in-memory memo and the disk cache across a
+``ProcessPoolExecutor`` and merges the returned
+:class:`CharacterizationResult` objects back into the calling harness'
+memo, so every downstream consumer (figures, tables, export, ranking)
+is unchanged.
+
+Determinism: a worker runs exactly the code the serial path runs -- a
+fresh deterministic ``prepare(scale, seed)`` plus a fresh
+``PerfContext(machine, seed)`` per point -- so event counts and metrics
+are bit-identical to a serial run regardless of worker count or
+scheduling order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.core import registry
+from repro.core.harness import Harness
+
+
+def default_jobs() -> int:
+    """One worker per available CPU."""
+    return os.cpu_count() or 1
+
+
+# One harness per worker process, built once by the pool initializer so
+# consecutive tasks in the same worker share prepared inputs.
+_WORKER_HARNESS = None
+
+
+def _init_worker(machine, cluster, seed) -> None:
+    global _WORKER_HARNESS
+    _WORKER_HARNESS = Harness(machine=machine, cluster=cluster, seed=seed)
+
+
+def _run_point(spec):
+    """Execute one (name, scale, stack) point in a worker process."""
+    name, scale, stack = spec
+    return _WORKER_HARNESS.characterize(name, scale=scale, stack=stack)
+
+
+def _mp_context():
+    """Prefer fork (cheap on Linux; workers inherit loaded modules)."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def parallel_characterize(harness, specs, jobs: int = None) -> None:
+    """Fill ``harness``' memo for every missing point of ``specs``.
+
+    ``specs`` is an iterable of ``(name, scale, stack)`` triples.  Points
+    already memoized or present in the disk cache are absorbed without
+    spawning workers; if at most one point is actually missing, it is
+    left for the caller's serial path (a pool would only add overhead).
+    """
+    jobs = jobs or harness.jobs
+    missing = []
+    seen = set()
+    for name, scale, stack in specs:
+        workload = registry.create(name)
+        stack_used = workload.check_stack(stack)
+        key = (name, scale, stack_used, harness.machine.name)
+        if key in harness._cache or key in seen:
+            continue
+        cached = harness._load_cached(name, scale, stack_used, harness.machine)
+        if cached is not None:
+            harness._cache[key] = cached
+            continue
+        seen.add(key)
+        missing.append((key, (name, scale, stack_used)))
+    if len(missing) <= 1 or jobs <= 1:
+        return
+
+    workers = min(jobs, len(missing))
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=_mp_context(),
+        initializer=_init_worker,
+        initargs=(harness.machine, harness.cluster, harness.seed),
+    ) as pool:
+        outcomes = list(pool.map(_run_point, [spec for _, spec in missing]))
+    for (key, _), outcome in zip(missing, outcomes):
+        harness._cache[key] = outcome
+        harness._store_cached(outcome, harness.machine)
+
+
+class ParallelHarness(Harness):
+    """A :class:`~repro.core.harness.Harness` defaulting to one worker
+    per CPU -- ``ParallelHarness()`` is ``Harness(jobs=os.cpu_count())``."""
+
+    def __init__(self, *args, jobs: int = None, **kwargs):
+        super().__init__(*args, jobs=jobs or default_jobs(), **kwargs)

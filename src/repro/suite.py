@@ -3,19 +3,47 @@
     from repro import suite
     outcome = suite.characterize("WordCount")
     print(outcome.events.l1i_mpki, outcome.result.metric_value)
+    points = suite.suite(["Sort", "Grep"])          # suite-level entry
+    sweep = suite.sweep("Grep")
+
+The default harness persists results to the on-disk cache (see
+:mod:`repro.core.diskcache`), so repeated invocations across processes
+are near-instant; set ``REPRO_NO_CACHE=1`` to disable, and
+``REPRO_CACHE_DIR`` to relocate it.  :func:`reset` drops both the
+in-memory memo and the disk cache.
 """
 
 from __future__ import annotations
 
+import os
+
+from repro.core.diskcache import DiskCache, ENV_NO_CACHE
 from repro.core.harness import CharacterizationResult, Harness
 from repro.core.registry import workload_names
 
-_DEFAULT = Harness()
+
+def _make_default() -> Harness:
+    cache = None if os.environ.get(ENV_NO_CACHE) else DiskCache()
+    return Harness(cache=cache)
+
+
+_DEFAULT = _make_default()
 
 
 def characterize(name: str, scale: int = 1, stack: str = None) -> CharacterizationResult:
     """Profile one workload on the default E5645 testbed."""
     return _DEFAULT.characterize(name, scale=scale, stack=stack)
+
+
+def suite(names=None, scale: int = 1, jobs: int = None) -> list:
+    """Characterize many workloads (all 19 by default) at one scale.
+
+    ``jobs`` > 1 fans the missing points across worker processes; the
+    results are bit-identical to a serial run.
+    """
+    if jobs is not None:
+        _DEFAULT.jobs = max(1, int(jobs))
+    return _DEFAULT.suite(names=names, scale=scale)
 
 
 def sweep(name: str, scales=None, stack: str = None) -> list:
@@ -31,6 +59,10 @@ def names() -> list:
 
 
 def reset() -> None:
-    """Drop the default harness' memoized runs."""
+    """Drop the default harness' memoized runs and the disk cache."""
     global _DEFAULT
-    _DEFAULT = Harness()
+    if _DEFAULT.cache is not None:
+        _DEFAULT.cache.clear()
+    else:
+        DiskCache().clear()
+    _DEFAULT = _make_default()

@@ -18,6 +18,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
+import numpy as np
+
 
 def _is_power_of_two(value: int) -> bool:
     return value > 0 and (value & (value - 1)) == 0
@@ -113,6 +115,61 @@ class Cache:
         if len(cache_set) > self.config.ways:
             cache_set.popitem(last=False)
         return False
+
+    def access_many(self, line_addrs, weights=1.0) -> np.ndarray:
+        """Touch a batch of cache lines; return a boolean hit array.
+
+        Equivalent to calling :meth:`access` once per element of
+        ``line_addrs`` in order, but with the per-access method dispatch
+        and statistics updates hoisted out of the loop -- the simulator's
+        hottest path runs through here.  ``weights`` is either one scalar
+        applied to every access or an array of per-access weights.
+        """
+        line_addrs = np.asarray(line_addrs, dtype=np.int64)
+        n = int(line_addrs.size)
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        sets = self._sets
+        ways = self.config.ways
+        indices = (line_addrs % self._num_sets).tolist()
+        lines = line_addrs.tolist()
+        miss_idx = []
+        append_miss = miss_idx.append
+        for i, (line, index) in enumerate(zip(lines, indices)):
+            cache_set = sets[index]
+            if line in cache_set:
+                cache_set.move_to_end(line)
+            else:
+                append_miss(i)
+                cache_set[line] = True
+                if len(cache_set) > ways:
+                    cache_set.popitem(last=False)
+        hits = np.ones(n, dtype=bool)
+        if miss_idx:
+            hits[miss_idx] = False
+        if np.ndim(weights) == 0:
+            self.accesses += float(weights) * n
+            self.misses += float(weights) * len(miss_idx)
+        else:
+            weights = np.asarray(weights, dtype=np.float64)
+            self.accesses += float(weights.sum())
+            if miss_idx:
+                self.misses += float(weights[~hits].sum())
+        return hits
+
+    def prime_many(self, line_addrs) -> None:
+        """Install a batch of lines without counting statistics.
+
+        Equivalent to calling :meth:`prime` once per element in order.
+        """
+        sets = self._sets
+        num_sets = self._num_sets
+        ways = self.config.ways
+        for line in np.asarray(line_addrs, dtype=np.int64).tolist():
+            cache_set = sets[line % num_sets]
+            cache_set[line] = True
+            if len(cache_set) > ways:
+                cache_set.popitem(last=False)
 
     def contains(self, line_addr: int) -> bool:
         """True if the line is currently resident (no state change)."""

@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional
 
+import numpy as np
+
 from repro.uarch.cache import Cache, CacheConfig
 from repro.uarch.events import PerfEvents
 from repro.uarch.tlb import Tlb, TlbConfig
@@ -172,30 +174,31 @@ class MemorySystem:
         self._code_l3_misses = 0.0
 
     def data_access(self, addresses, weight: float, is_write: bool = False) -> None:
-        """Route a batch of simulated data accesses through the hierarchy."""
-        if len(addresses) == 0:
+        """Route a batch of simulated data accesses through the hierarchy.
+
+        Levels are processed batch-at-a-time: the DTLB translates every
+        address, L1D filters the batch, and only the L1 misses (in their
+        original order) proceed to L2, then L3.  Because each level's
+        state depends only on the sequence of accesses *it* sees, this is
+        bit-identical to walking the levels one address at a time.
+        """
+        addresses = np.asarray(addresses, dtype=np.int64)
+        if addresses.size == 0:
             return
-        l2, l3 = self.l2, self.l3
-        line_bits = self._line_bits
-        tlb_access = self.dtlb.access
-        l1_access = self.l1d.access
-        l2_access = l2.access
-        l3_access = l3.access if l3 is not None else None
-        llc_misses = 0
-        for addr in addresses.tolist():
-            tlb_access(addr, weight)
-            line = addr >> line_bits
-            if l1_access(line, weight):
-                continue
-            if l2_access(line, weight):
-                continue
-            if l3_access is not None:
-                if l3_access(line, weight):
-                    continue
-            llc_misses += 1
-        if llc_misses:
+        self.dtlb.access_many(addresses, weight)
+        lines = addresses >> self._line_bits
+        l1_hits = self.l1d.access_many(lines, weight)
+        to_l2 = lines[~l1_hits]
+        if to_l2.size == 0:
+            return
+        l2_hits = self.l2.access_many(to_l2, weight)
+        llc_misses = to_l2[~l2_hits]
+        if self.l3 is not None and llc_misses.size:
+            l3_hits = self.l3.access_many(llc_misses, weight)
+            llc_misses = llc_misses[~l3_hits]
+        if llc_misses.size:
             self.events.mem_bytes += (
-                llc_misses * weight * self.REAL_LINE_SIZE
+                int(llc_misses.size) * weight * self.REAL_LINE_SIZE
                 * self.MEM_TRAFFIC_AMPLIFICATION
             )
 
@@ -205,16 +208,12 @@ class MemorySystem:
         ITLB and L1I are simulated statefully; below L1I the statistical
         code-residency model applies (see CODE_L2_MISS_RATE).
         """
-        if len(addresses) == 0:
+        addresses = np.asarray(addresses, dtype=np.int64)
+        if addresses.size == 0:
             return
-        line_bits = self._line_bits
-        tlb_access = self.itlb.access
-        l1_access = self.l1i.access
-        l1_miss_count = 0
-        for addr in addresses.tolist():
-            tlb_access(addr, weight)
-            if not l1_access(addr >> line_bits, weight):
-                l1_miss_count += 1
+        self.itlb.access_many(addresses, weight)
+        l1_hits = self.l1i.access_many(addresses >> self._line_bits, weight)
+        l1_miss_count = int(addresses.size) - int(l1_hits.sum())
         if not l1_miss_count:
             return
         l2_in = l1_miss_count * weight

@@ -308,12 +308,14 @@ class PerfContext(NullPerfContext):
             return
         line = memsys.machine.l1i.line_size
         hot_size = max(line, profile.hot_bytes // self.contraction)
-        for offset in range(0, hot_size, line):
-            memsys.l1i.prime((region.base + offset) >> (line.bit_length() - 1))
+        hot_offsets = np.arange(0, hot_size, line, dtype=np.int64)
+        memsys.l1i.prime_many(
+            (region.base + hot_offsets) >> (line.bit_length() - 1)
+        )
         warm_size = max(hot_size, profile.warm_bytes // self.contraction)
         page = memsys.itlb.config.page_size
-        for offset in range(0, warm_size, page):
-            memsys.itlb.prime(region.base + offset)
+        warm_offsets = np.arange(0, warm_size, page, dtype=np.int64)
+        memsys.itlb.prime_many(region.base + warm_offsets)
 
     def _sequential(self, name: str, nbytes: float, elem: int, is_write: bool) -> None:
         if nbytes <= 0:

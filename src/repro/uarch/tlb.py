@@ -10,6 +10,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class TlbConfig:
@@ -64,6 +66,56 @@ class Tlb:
         if len(self._entries) > self.config.entries:
             self._entries.popitem(last=False)
         return False
+
+    def access_many(self, addrs, weights=1.0) -> np.ndarray:
+        """Translate a batch of byte addresses; return a boolean hit array.
+
+        Equivalent to calling :meth:`access` once per element of ``addrs``
+        in order; the page-number shift is vectorized and the LRU loop is
+        run with all lookups bound locally.  ``weights`` is one scalar for
+        every access or an array of per-access weights.
+        """
+        pages = np.asarray(addrs, dtype=np.int64) >> self._page_bits
+        n = int(pages.size)
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        entries = self._entries
+        capacity = self.config.entries
+        miss_idx = []
+        append_miss = miss_idx.append
+        for i, page in enumerate(pages.tolist()):
+            if page in entries:
+                entries.move_to_end(page)
+            else:
+                append_miss(i)
+                entries[page] = True
+                if len(entries) > capacity:
+                    entries.popitem(last=False)
+        hits = np.ones(n, dtype=bool)
+        if miss_idx:
+            hits[miss_idx] = False
+        if np.ndim(weights) == 0:
+            self.accesses += float(weights) * n
+            self.misses += float(weights) * len(miss_idx)
+        else:
+            weights = np.asarray(weights, dtype=np.float64)
+            self.accesses += float(weights.sum())
+            if miss_idx:
+                self.misses += float(weights[~hits].sum())
+        return hits
+
+    def prime_many(self, addrs) -> None:
+        """Install a batch of translations without counting statistics.
+
+        Equivalent to calling :meth:`prime` once per element in order.
+        """
+        entries = self._entries
+        capacity = self.config.entries
+        pages = np.asarray(addrs, dtype=np.int64) >> self._page_bits
+        for page in pages.tolist():
+            entries[page] = True
+            if len(entries) > capacity:
+                entries.popitem(last=False)
 
     def prime(self, addr: int) -> None:
         """Install a translation without counting statistics."""

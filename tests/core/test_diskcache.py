@@ -1,0 +1,123 @@
+"""Disk-cache semantics: hit/miss, invalidation, and harness wiring."""
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.core.diskcache import DiskCache, code_fingerprint, resolve_cache
+from repro.core.harness import Harness
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return DiskCache(root=str(tmp_path / "cache"))
+
+
+class TestDiskCacheBasics:
+    def test_miss_then_hit(self, cache):
+        key = ("characterize", "Grep", 1)
+        assert cache.get(key) is None
+        assert cache.misses == 1
+        cache.put(key, {"value": 42})
+        assert key in cache
+        assert cache.get(key) == {"value": 42}
+        assert cache.hits == 1
+        assert len(cache) == 1
+
+    def test_distinct_keys_do_not_collide(self, cache):
+        cache.put(("Grep", 1, 0), "a")
+        cache.put(("Grep", 1, 1), "b")  # e.g. a different seed
+        assert cache.get(("Grep", 1, 0)) == "a"
+        assert cache.get(("Grep", 1, 1)) == "b"
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, cache):
+        key = ("k",)
+        path = cache.put(key, "value")
+        with open(path, "wb") as handle:
+            handle.write(b"not a pickle")
+        assert cache.get(key) is None
+        assert cache.misses == 1
+        assert not os.path.exists(path)
+
+    def test_clear_removes_everything(self, cache):
+        cache.put(("k",), "v")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get(("k",)) is None
+
+
+class TestFingerprintInvalidation:
+    def test_fingerprint_is_stable_within_a_source_tree(self):
+        assert code_fingerprint() == code_fingerprint(refresh=True)
+
+    def test_new_fingerprint_invalidates_old_entries(self, tmp_path):
+        root = str(tmp_path / "cache")
+        old = DiskCache(root=root, fingerprint="aaaa")
+        old.put(("k",), "stale result")
+        new = DiskCache(root=root, fingerprint="bbbb")
+        assert new.get(("k",)) is None  # source changed -> cold cache
+        assert old.get(("k",)) == "stale result"  # old entries untouched
+
+    def test_prune_drops_stale_fingerprints_only(self, tmp_path):
+        root = str(tmp_path / "cache")
+        old = DiskCache(root=root, fingerprint="aaaa")
+        old.put(("k",), "stale")
+        new = DiskCache(root=root, fingerprint="bbbb")
+        new.put(("k",), "fresh")
+        new.prune()
+        assert len(old) == 0
+        assert new.get(("k",)) == "fresh"
+
+
+class TestResolveCache:
+    def test_none_and_false_mean_no_cache(self):
+        assert resolve_cache(None) is None
+        assert resolve_cache(False) is None
+
+    def test_true_builds_default_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        built = resolve_cache(True)
+        assert isinstance(built, DiskCache)
+        assert built.root == str(tmp_path)
+
+    def test_empty_instance_passes_through(self, cache):
+        # An empty DiskCache is falsy by __len__ but must stay attached.
+        assert resolve_cache(cache) is cache
+
+
+class TestHarnessWiring:
+    def test_results_survive_across_harnesses(self, tmp_path):
+        root = str(tmp_path / "cache")
+        first = Harness(cache=DiskCache(root=root))
+        original = first.characterize("Grep")
+        assert len(first.cache) == 1
+
+        warm = Harness(cache=DiskCache(root=root))
+        restored = warm.characterize("Grep")
+        assert warm.cache.hits == 1
+        assert dataclasses.asdict(restored.report.events) == \
+            dataclasses.asdict(original.report.events)
+        assert restored.result.metric_value == original.result.metric_value
+        # And the memo serves the second lookup without touching disk.
+        assert warm.characterize("Grep") is restored
+        assert warm.cache.hits == 1
+
+    def test_seed_machine_and_cluster_are_in_the_key(self, tmp_path):
+        from repro.cluster.node import ClusterSpec
+        from repro.uarch.hierarchy import XEON_E5310, XEON_E5645
+
+        base = Harness(cache=DiskCache(root=str(tmp_path)))
+        keys = {
+            base._disk_key("Grep", 1, "hadoop", XEON_E5645),
+            base._disk_key("Grep", 1, "hadoop", XEON_E5310),
+            base._disk_key("Grep", 2, "hadoop", XEON_E5645),
+            base._disk_key("Grep", 1, "spark", XEON_E5645),
+            Harness(seed=7)._disk_key("Grep", 1, "hadoop", XEON_E5645),
+            Harness(cluster=ClusterSpec(num_nodes=3))._disk_key(
+                "Grep", 1, "hadoop", XEON_E5645),
+        }
+        assert len(keys) == 6
+
+    def test_no_cache_by_default(self):
+        assert Harness().cache is None
