@@ -75,3 +75,53 @@ def test_parallel_suite_and_warm_cache(benchmark, tmp_path):
     # than the cold serial pass.
     assert warm_seconds * 5 <= cold_seconds, (
         f"warm cache {warm_seconds:.2f}s vs cold {cold_seconds:.2f}s")
+
+
+def test_null_tracer_overhead_within_noise():
+    """Disabled tracing must cost nothing measurable.
+
+    Every engine hot path now calls ``ctx.span(...)``; with tracing off
+    that routes to the shared null tracer, which hands back one
+    preallocated no-op scope.  Guard both layers: the per-call cost of
+    the null path stays in fractions of a microsecond, and a traced
+    characterization stays within noise of an untraced one (the span
+    count per run is tiny compared to the simulated work).
+    """
+    from repro.core.harness import Harness
+    from repro.core.runspec import RunSpec
+    from repro.obs.trace import NULL_SPAN
+    from repro.uarch.hierarchy import XEON_E5645
+    from repro.uarch.perfctx import PerfContext
+
+    ctx = PerfContext(XEON_E5645)
+    assert ctx.span("bench:null") is NULL_SPAN
+
+    calls = 200_000
+    start = time.perf_counter()
+    for _ in range(calls):
+        with ctx.span("bench:null", category="bench"):
+            pass
+    per_call = (time.perf_counter() - start) / calls
+    assert per_call < 5e-6, f"null span costs {per_call * 1e9:.0f} ns/call"
+
+    def timed(trace):
+        harness = Harness()   # fresh memo each leg: every run executes
+        start = time.perf_counter()
+        harness.run(RunSpec(workload="Grep", trace=trace))
+        return time.perf_counter() - start
+
+    untraced = min(timed(False) for _ in range(2))
+    traced = timed(True)
+    emit(render_table(
+        ["Leg", "Value"],
+        [
+            ["null span per call", f"{per_call * 1e9:.0f} ns"],
+            ["Grep untraced (best of 2)", f"{untraced:.2f} s"],
+            ["Grep traced", f"{traced:.2f} s"],
+        ],
+        title="Tracing overhead: disabled path and traced run",
+    ))
+    # Generous noise bound: tracing records tens of spans per run, so a
+    # traced run must stay in the same ballpark as an untraced one.
+    assert traced <= untraced * 1.5 + 1.0, (
+        f"traced {traced:.2f}s vs untraced {untraced:.2f}s")

@@ -10,6 +10,8 @@ obtain" (Section 2).  This CLI is that surface:
     python -m repro table 4
     python -m repro figure 6 --jobs 4
     python -m repro roofline Sort K-means
+    python -m repro trace Sort --scale 4 --format chrome --out sort.json
+    python -m repro metrics Sort --no-cache
     python -m repro export out/csv
 
 Every harness-backed command accepts ``--jobs N`` (0 = one worker per
@@ -105,6 +107,54 @@ def cmd_sweep(args) -> None:
         ["Scale", point.result.metric_name, "MIPS", "L3 MPKI"], rows,
         title=f"{args.workload}: Table 6 data sweep",
     ))
+
+
+def cmd_trace(args) -> None:
+    from repro.core.runspec import RunSpec
+    from repro.obs.export import (
+        dump_json, render_trace, trace_to_chrome, trace_to_tree,
+    )
+
+    harness = _harness(args, machine=_machine(args.machine))
+    outcome = harness.run(RunSpec(
+        workload=args.workload, scale=args.scale, stack=args.stack,
+        trace=True,
+    ))
+    if outcome.trace is None:
+        raise SystemExit(
+            f"no trace recorded for {args.workload!r}; the cached result "
+            "predates tracing -- rerun with --no-cache")
+    metadata = {
+        "workload": outcome.workload,
+        "scale": outcome.scale,
+        "stack": outcome.stack,
+        "machine": outcome.machine,
+        "metric": {outcome.result.metric_name: outcome.result.metric_value},
+        "modeled_seconds": outcome.modeled_seconds,
+    }
+    if args.format == "tree":
+        text = render_trace(outcome.trace)
+    elif args.format == "json":
+        text = dump_json(trace_to_tree(outcome.trace, metadata=metadata))
+    elif args.format == "chrome":
+        text = dump_json(trace_to_chrome(outcome.trace, metadata=metadata))
+    else:
+        raise SystemExit(f"unknown format {args.format!r} (tree, json, chrome)")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(args.out)
+    else:
+        print(text)
+
+
+def cmd_metrics(args) -> None:
+    from repro.obs.metrics import METRICS, render_metrics
+
+    harness = _harness(args, machine=_machine(args.machine))
+    for name in args.workloads:
+        harness.characterize(name, scale=args.scale)
+    print(render_metrics(METRICS))
 
 
 def cmd_table(args) -> None:
@@ -227,6 +277,31 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--machine", default="E5645")
     _add_exec_options(sweep)
     sweep.set_defaults(fn=cmd_sweep)
+
+    trace = sub.add_parser("trace", help="characterize with span tracing "
+                                         "and print the phase breakdown")
+    trace.add_argument("workload")
+    trace.add_argument("--scale", type=int, default=1)
+    trace.add_argument("--stack", default=None)
+    trace.add_argument("--machine", default="E5645")
+    trace.add_argument("--format", choices=("tree", "json", "chrome"),
+                       default="tree",
+                       help="tree = ASCII phase tree (default); json = "
+                            "span tree; chrome = chrome://tracing events")
+    trace.add_argument("--out", default=None, metavar="FILE",
+                       help="write to FILE instead of stdout")
+    _add_exec_options(trace)
+    trace.set_defaults(fn=cmd_trace)
+
+    metrics = sub.add_parser("metrics", help="run workloads and dump the "
+                                             "process metrics registry")
+    metrics.add_argument("workloads", nargs="*",
+                         help="workloads to characterize before dumping "
+                              "(engine counters need a fresh run: --no-cache)")
+    metrics.add_argument("--scale", type=int, default=1)
+    metrics.add_argument("--machine", default="E5645")
+    _add_exec_options(metrics)
+    metrics.set_defaults(fn=cmd_metrics)
 
     table = sub.add_parser("table", help="regenerate a paper table (1-7)")
     table.add_argument("number")

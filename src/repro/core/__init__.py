@@ -37,6 +37,10 @@ def __getattr__(name):
         from repro.core import harness
 
         return getattr(harness, name)
+    if name == "RunSpec":
+        from repro.core.runspec import RunSpec
+
+        return RunSpec
     raise AttributeError(f"module 'repro.core' has no attribute {name!r}")
 
 
@@ -50,6 +54,7 @@ __all__ = [
     "OPS",
     "REALTIME",
     "RPS",
+    "RunSpec",
     "SCALE_FACTORS",
     "WORKLOAD_CLASSES",
     "Workload",

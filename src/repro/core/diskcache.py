@@ -105,12 +105,15 @@ class DiskCache:
 
         Unreadable/corrupt entries are deleted and reported as misses.
         """
+        from repro.obs.metrics import METRICS
+
         path = self._path(key)
         try:
             with open(path, "rb") as handle:
                 value = pickle.load(handle)
         except FileNotFoundError:
             self.misses += 1
+            METRICS.counter("diskcache.misses").inc()
             return None
         except Exception:
             try:
@@ -118,12 +121,17 @@ class DiskCache:
             except OSError:
                 pass
             self.misses += 1
+            METRICS.counter("diskcache.misses").inc()
             return None
         self.hits += 1
+        METRICS.counter("diskcache.hits").inc()
         return value
 
     def put(self, key, value) -> str:
         """Store ``value`` under ``key`` atomically; returns the path."""
+        from repro.obs.metrics import METRICS
+
+        METRICS.counter("diskcache.puts").inc()
         path = self._path(key)
         os.makedirs(self.directory, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")

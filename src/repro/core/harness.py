@@ -5,15 +5,26 @@ This is the reproduction's equivalent of the paper's experimental rig
 machine configuration; prepare the input with BDGS; execute; collect the
 perf events, the modeled report, and the user-perceivable metric.
 Results are memoized so figure generators can share runs.
+
+Every run is described by a :class:`~repro.core.runspec.RunSpec`; the
+kwargs signatures below are thin shims over it.  Traced runs
+(``trace=True``) additionally record a span tree (see
+:mod:`repro.obs.trace`) stored on the result -- per-engine-phase wall
+time and exact perf-event deltas -- which survives the memo, the disk
+cache, and process-parallel execution.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.cluster.node import ClusterSpec, PAPER_CLUSTER
 from repro.core import registry
+from repro.core.runspec import RunSpec
 from repro.core.workload import SCALE_FACTORS, WorkloadResult
+from repro.obs.metrics import METRICS
+from repro.obs.trace import Span, Tracer
 from repro.uarch.events import ProfileReport
 from repro.uarch.hierarchy import MachineConfig, XEON_E5645
 from repro.uarch.perfctx import PerfContext
@@ -29,6 +40,8 @@ class CharacterizationResult:
     machine: str
     report: ProfileReport
     result: WorkloadResult
+    #: Span tree of a traced run (None when tracing was off).
+    trace: Optional[Span] = None
 
     @property
     def events(self):
@@ -73,12 +86,14 @@ class Harness:
     ``cache`` attaches a persistent :class:`~repro.core.diskcache.DiskCache`
     (pass a DiskCache, or True for the default location) so results
     survive across processes; it is invalidated automatically when any
-    ``repro`` source file changes.
+    ``repro`` source file changes.  ``trace`` turns on span tracing for
+    every run this harness executes (individual runs can also request it
+    via ``RunSpec(trace=True)``).
     """
 
     def __init__(self, machine: MachineConfig = XEON_E5645,
                  cluster: ClusterSpec = PAPER_CLUSTER, seed: int = 0,
-                 jobs: int = 1, cache=None):
+                 jobs: int = 1, cache=None, trace: bool = False):
         from repro.core.diskcache import resolve_cache
 
         self.machine = machine
@@ -86,98 +101,129 @@ class Harness:
         self.seed = seed
         self.jobs = max(1, int(jobs or 1))
         self.cache = resolve_cache(cache)
+        self.trace = bool(trace)
         self._cache: dict = {}
         self._inputs: dict = {}
 
-    def characterize(self, name: str, scale: int = 1, stack: str = None,
-                     machine: MachineConfig = None) -> CharacterizationResult:
-        """Run one workload at one scale on one machine, profiled."""
-        machine = machine or self.machine
-        workload = registry.create(name)
-        stack_used = workload.check_stack(stack)
-        key = (name, scale, stack_used, machine.name)
+    # -- the RunSpec API -------------------------------------------------------
+
+    def run(self, spec: RunSpec) -> CharacterizationResult:
+        """Run one fully described point (memo -> disk cache -> execute)."""
+        spec = spec.resolved(self)
+        key = spec.memo_key()
+        METRICS.counter("harness.runs").inc()
         if key in self._cache:
+            METRICS.counter("harness.memo_hits").inc()
             return self._cache[key]
-        outcome = self._load_cached(name, scale, stack_used, machine)
+        outcome = self._load_cached(spec)
         if outcome is None:
-            outcome = self._execute(workload, name, scale, stack_used, machine)
-            self._store_cached(outcome, machine)
+            outcome = self._execute(spec)
+            self._store_cached(spec, outcome)
         self._cache[key] = outcome
         return outcome
 
-    def sweep(self, name: str, scales=SCALE_FACTORS, stack: str = None) -> list:
-        """The paper's data-volume sweep (Table 6 geometry)."""
-        return self.characterize_many([(name, s, stack) for s in scales])
+    def run_many(self, specs) -> list:
+        """Run many points, in order; ``jobs`` > 1 fans missing ones out.
 
-    def suite(self, names=None, scale: int = 1) -> list:
-        """Characterize many workloads at one scale (Figures 4-6 input)."""
-        names = names or registry.workload_names()
-        return self.characterize_many([(name, scale, None) for name in names])
-
-    def characterize_many(self, specs) -> list:
-        """Characterize ``(name, scale, stack)`` triples, in order.
-
-        With ``jobs`` > 1 the points missing from both the memo and the
-        disk cache run concurrently in worker processes first; the final
-        (ordered) result list is then assembled from the memo.
+        ``specs`` may mix :class:`RunSpec` objects and legacy
+        ``(name, scale, stack)`` triples.
         """
-        specs = list(specs)
+        specs = [self._coerce(spec) for spec in specs]
         if self.jobs > 1 and len(specs) > 1:
             from repro.core.parallel import parallel_characterize
 
             parallel_characterize(self, specs)
-        return [self.characterize(name, scale=scale, stack=stack)
-                for name, scale, stack in specs]
+        return [self.run(spec) for spec in specs]
+
+    # -- kwargs shims (the pre-RunSpec surface; no caller breaks) --------------
+
+    def characterize(self, name, scale: int = 1, stack: Optional[str] = None,
+                     machine: Optional[MachineConfig] = None,
+                     trace: bool = False) -> CharacterizationResult:
+        """Run one workload at one scale on one machine, profiled.
+
+        ``name`` may also be a ready-made :class:`RunSpec` (the kwargs
+        are then ignored).
+        """
+        if isinstance(name, RunSpec):
+            return self.run(name)
+        return self.run(RunSpec(workload=name, scale=scale, stack=stack,
+                                machine=machine, trace=trace))
+
+    def sweep(self, name: str, scales=SCALE_FACTORS,
+              stack: Optional[str] = None) -> list:
+        """The paper's data-volume sweep (Table 6 geometry)."""
+        return self.run_many(
+            [RunSpec(workload=name, scale=s, stack=stack) for s in scales])
+
+    def suite(self, names=None, scale: int = 1) -> list:
+        """Characterize many workloads at one scale (Figures 4-6 input)."""
+        names = names or registry.workload_names()
+        return self.run_many(
+            [RunSpec(workload=name, scale=scale) for name in names])
+
+    def characterize_many(self, specs) -> list:
+        """Characterize RunSpecs or ``(name, scale, stack)`` triples, in
+        order (alias of :meth:`run_many`, kept for existing callers)."""
+        return self.run_many(specs)
 
     # -- execution and persistent caching --------------------------------------
 
-    def _execute(self, workload, name: str, scale: int, stack_used: str,
-                 machine: MachineConfig) -> CharacterizationResult:
+    def _coerce(self, spec) -> RunSpec:
+        if isinstance(spec, RunSpec):
+            return spec
+        name, scale, stack = spec
+        return RunSpec(workload=name, scale=scale, stack=stack)
+
+    def _execute(self, spec: RunSpec) -> CharacterizationResult:
         """Actually run one profiled point (no memo, no disk cache)."""
-        prepared = self._prepared(name, scale, workload=workload)
-        ctx = PerfContext(machine, seed=self.seed)
-        result = workload.run(prepared, ctx=ctx, cluster=self.cluster,
-                              stack=stack_used)
+        METRICS.counter("harness.executions").inc()
+        workload = registry.create(spec.workload)
+        tracer = Tracer(spec.workload) if spec.trace else None
+        ctx = PerfContext(spec.machine, seed=spec.seed, tracer=tracer)
+        with ctx.span(f"characterize:{spec.workload}", category="harness",
+                      scale=spec.scale, stack=spec.stack):
+            with ctx.span(f"prepare:{spec.workload}", category="datagen"):
+                prepared = self._prepared(spec.workload, spec.scale,
+                                          seed=spec.seed, workload=workload)
+            with ctx.span(f"run:{spec.workload}", category="harness"):
+                result = workload.run(prepared, ctx=ctx, cluster=spec.cluster,
+                                      stack=spec.stack)
         report = ctx.finalize(
-            cores_used=self.cluster.total_cores,
-            metadata={"workload": name, "scale": scale, "stack": stack_used},
+            cores_used=spec.cluster.total_cores,
+            metadata={"workload": spec.workload, "scale": spec.scale,
+                      "stack": spec.stack},
         )
-        return CharacterizationResult(
-            workload=name, scale=scale, stack=stack_used,
-            machine=machine.name, report=report, result=result,
+        trace = tracer.finish() if tracer is not None else None
+        outcome = CharacterizationResult(
+            workload=spec.workload, scale=spec.scale, stack=spec.stack,
+            machine=spec.machine.name, report=report, result=result,
+            trace=trace,
         )
+        if trace is not None:
+            trace.set("modeled_seconds", outcome.modeled_seconds)
+            trace.set("metric", f"{result.metric_name}={result.metric_value:.6g}")
+        return outcome
 
-    def _disk_key(self, name: str, scale: int, stack_used: str,
-                  machine: MachineConfig) -> tuple:
-        """The persistent-cache key: every input that shapes a result.
-
-        The machine and cluster go in by repr so custom configurations
-        do not collide with the presets sharing their name; the code
-        fingerprint is handled by the cache itself.
-        """
-        return ("characterize", name, scale, stack_used,
-                repr(machine), repr(self.cluster), self.seed)
-
-    def _load_cached(self, name: str, scale: int, stack_used: str,
-                     machine: MachineConfig):
+    def _load_cached(self, spec: RunSpec):
         if self.cache is None:
             return None
-        return self.cache.get(self._disk_key(name, scale, stack_used, machine))
+        outcome = self.cache.get(spec.cache_key())
+        if outcome is not None:
+            METRICS.counter("harness.disk_hits").inc()
+        return outcome
 
-    def _store_cached(self, outcome: CharacterizationResult,
-                      machine: MachineConfig) -> None:
+    def _store_cached(self, spec: RunSpec,
+                      outcome: CharacterizationResult) -> None:
         if self.cache is None:
             return
-        self.cache.put(
-            self._disk_key(outcome.workload, outcome.scale, outcome.stack,
-                           machine),
-            outcome,
-        )
+        self.cache.put(spec.cache_key(), outcome)
 
-    def _prepared(self, name: str, scale: int, workload=None):
+    def _prepared(self, name: str, scale: int, seed: int = None, workload=None):
         key = (name, scale)
         if key not in self._inputs:
             if workload is None:
                 workload = registry.create(name)
-            self._inputs[key] = workload.prepare(scale, seed=self.seed)
+            seed = self.seed if seed is None else seed
+            self._inputs[key] = workload.prepare(scale, seed=seed)
         return self._inputs[key]

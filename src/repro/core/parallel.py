@@ -14,7 +14,9 @@ Determinism: a worker runs exactly the code the serial path runs -- a
 fresh deterministic ``prepare(scale, seed)`` plus a fresh
 ``PerfContext(machine, seed)`` per point -- so event counts and metrics
 are bit-identical to a serial run regardless of worker count or
-scheduling order.
+scheduling order.  Traced points carry their span tree back in the
+pickled result, so worker spans land in the parent's memo exactly as a
+serial run's would.
 """
 
 from __future__ import annotations
@@ -23,8 +25,8 @@ import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
 
-from repro.core import registry
 from repro.core.harness import Harness
+from repro.core.runspec import RunSpec
 
 
 def default_jobs() -> int:
@@ -42,10 +44,9 @@ def _init_worker(machine, cluster, seed) -> None:
     _WORKER_HARNESS = Harness(machine=machine, cluster=cluster, seed=seed)
 
 
-def _run_point(spec):
-    """Execute one (name, scale, stack) point in a worker process."""
-    name, scale, stack = spec
-    return _WORKER_HARNESS.characterize(name, scale=scale, stack=stack)
+def _run_point(spec: RunSpec):
+    """Execute one resolved RunSpec in a worker process."""
+    return _WORKER_HARNESS.run(spec)
 
 
 def _mp_context():
@@ -57,26 +58,26 @@ def _mp_context():
 def parallel_characterize(harness, specs, jobs: int = None) -> None:
     """Fill ``harness``' memo for every missing point of ``specs``.
 
-    ``specs`` is an iterable of ``(name, scale, stack)`` triples.  Points
-    already memoized or present in the disk cache are absorbed without
-    spawning workers; if at most one point is actually missing, it is
-    left for the caller's serial path (a pool would only add overhead).
+    ``specs`` is an iterable of :class:`RunSpec` objects or legacy
+    ``(name, scale, stack)`` triples.  Points already memoized or
+    present in the disk cache are absorbed without spawning workers; if
+    at most one point is actually missing, it is left for the caller's
+    serial path (a pool would only add overhead).
     """
     jobs = jobs or harness.jobs
     missing = []
     seen = set()
-    for name, scale, stack in specs:
-        workload = registry.create(name)
-        stack_used = workload.check_stack(stack)
-        key = (name, scale, stack_used, harness.machine.name)
+    for spec in specs:
+        spec = harness._coerce(spec).resolved(harness)
+        key = spec.memo_key()
         if key in harness._cache or key in seen:
             continue
-        cached = harness._load_cached(name, scale, stack_used, harness.machine)
+        cached = harness._load_cached(spec)
         if cached is not None:
             harness._cache[key] = cached
             continue
         seen.add(key)
-        missing.append((key, (name, scale, stack_used)))
+        missing.append((key, spec))
     if len(missing) <= 1 or jobs <= 1:
         return
 
@@ -88,9 +89,9 @@ def parallel_characterize(harness, specs, jobs: int = None) -> None:
         initargs=(harness.machine, harness.cluster, harness.seed),
     ) as pool:
         outcomes = list(pool.map(_run_point, [spec for _, spec in missing]))
-    for (key, _), outcome in zip(missing, outcomes):
+    for (key, spec), outcome in zip(missing, outcomes):
         harness._cache[key] = outcome
-        harness._store_cached(outcome, harness.machine)
+        harness._store_cached(spec, outcome)
 
 
 class ParallelHarness(Harness):

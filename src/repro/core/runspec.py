@@ -1,0 +1,104 @@
+"""RunSpec: the single value object describing one characterization run.
+
+Before this, "which run is this?" was answered three different ways --
+positional kwargs on :meth:`Harness.characterize`, ``(name, scale,
+stack)`` triples in :mod:`repro.core.parallel`, and an ad-hoc tuple for
+the disk cache.  A :class:`RunSpec` unifies them: every input that
+shapes a result (workload, scale, stack, machine, cluster, seed) plus
+the execution parameters that do not (``jobs``, ``trace``), with
+explicit helpers for the memo key and the persistent-cache key.
+
+The kwargs signatures on the harness and the ``repro.suite`` facade
+remain as thin shims that build a RunSpec, so no existing caller breaks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.cluster.node import ClusterSpec
+from repro.uarch.hierarchy import MachineConfig
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully described characterization point.
+
+    ``stack``, ``machine``, and ``cluster`` may be left None and are
+    filled from the owning harness (and the workload's default stack) by
+    :meth:`resolved`.  ``jobs`` and ``trace`` are execution parameters:
+    they change how a run executes (process fan-out, span recording),
+    never what it computes -- which is why :meth:`cache_key` includes
+    ``trace`` (a traced result stores strictly more data) but excludes
+    ``jobs`` (results are bit-identical at any worker count).
+    """
+
+    workload: str
+    scale: int = 1
+    stack: Optional[str] = None
+    machine: Optional[MachineConfig] = None
+    cluster: Optional[ClusterSpec] = None
+    seed: int = 0
+    jobs: int = 1
+    trace: bool = False
+
+    def __post_init__(self):
+        if self.scale < 1:
+            raise ValueError(f"scale must be >= 1, got {self.scale}")
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+
+    def resolved(self, harness=None) -> "RunSpec":
+        """Fill defaults and normalize the stack to its canonical name.
+
+        With a harness, None machine/cluster take the harness' testbed
+        and ``seed``/``trace`` inherit harness settings (``trace`` is
+        sticky-True: either side may request it).
+        """
+        from repro.core import registry
+
+        machine, cluster, seed, trace = (
+            self.machine, self.cluster, self.seed, self.trace)
+        if harness is not None:
+            machine = machine or harness.machine
+            cluster = cluster or harness.cluster
+            seed = harness.seed if seed == 0 else seed
+            trace = trace or harness.trace
+        stack = registry.create(self.workload).check_stack(self.stack)
+        return replace(self, stack=stack, machine=machine, cluster=cluster,
+                       seed=seed, trace=trace)
+
+    @property
+    def is_resolved(self) -> bool:
+        return (self.stack is not None and self.machine is not None
+                and self.cluster is not None)
+
+    def memo_key(self) -> tuple:
+        """The in-memory memo key (requires a resolved spec)."""
+        self._require_resolved()
+        return (self.workload, self.scale, self.stack, self.machine.name,
+                self.trace)
+
+    def cache_key(self) -> tuple:
+        """The persistent-cache key: every input that shapes a result.
+
+        Machine and cluster go in by repr so custom configurations do
+        not collide with presets sharing their name; the code
+        fingerprint is handled by the cache itself.  The untraced key
+        layout is unchanged from the pre-RunSpec harness, so existing
+        cache entries stay valid; traced runs get a distinct entry
+        (their results carry the span tree).
+        """
+        self._require_resolved()
+        key = ("characterize", self.workload, self.scale, self.stack,
+               repr(self.machine), repr(self.cluster), self.seed)
+        if self.trace:
+            key += ("trace",)
+        return key
+
+    def _require_resolved(self) -> None:
+        if not self.is_resolved:
+            raise ValueError(
+                f"RunSpec for {self.workload!r} is unresolved; call "
+                "resolved() (or go through a Harness) before keying")

@@ -176,23 +176,36 @@ class MapReduceRuntime:
         self._failure_rng = np.random.default_rng(failure_seed)
 
     def run(self, job: MapReduceJob, dfs_file: DfsFile, slicer=None) -> JobResult:
+        from repro.obs.metrics import METRICS
+
         ctx = self.ctx
         counters = Counters()
         cost = JobCost()
-        splits = dfs_file.splits(slicer)
-        working_region = f"{job.name}:working"
-        ctx.touch(working_region, job.working_bytes(dfs_file.nbytes))
-        cost.add(PhaseCost(name="job-setup", fixed_seconds=self.JOB_FIXED_SECONDS))
+        with ctx.span(f"mr:job:{job.name}", category="mapreduce") as job_span:
+            with ctx.span("mr:split", category="mapreduce") as sp:
+                splits = dfs_file.splits(slicer)
+                sp.set("splits", len(splits))
+            working_region = f"{job.name}:working"
+            ctx.touch(working_region, job.working_bytes(dfs_file.nbytes))
+            cost.add(PhaseCost(name="job-setup",
+                               fixed_seconds=self.JOB_FIXED_SECONDS))
 
-        with ctx.code(job.code_profile):
-            partitions, map_out_records = self._map_phase(
-                job, splits, dfs_file, counters, cost, working_region
-            )
-            out_keys, out_values = self._reduce_phase(
-                job, partitions, map_out_records, counters, cost, working_region,
-                dfs_file.nbytes,
-            )
+            with ctx.code(job.code_profile):
+                partitions, map_out_records = self._map_phase(
+                    job, splits, dfs_file, counters, cost, working_region
+                )
+                out_keys, out_values = self._reduce_phase(
+                    job, partitions, map_out_records, counters, cost,
+                    working_region, dfs_file.nbytes,
+                )
+            job_span.set("input_bytes", dfs_file.nbytes)
+            job_span.set("output_records", int(len(out_keys)))
 
+        METRICS.counter("mr.jobs").inc()
+        METRICS.counter("mr.map_input_records").inc(counters.get("map_input_records"))
+        METRICS.counter("mr.map_output_records").inc(counters.get("map_output_records"))
+        METRICS.counter("mr.shuffle_bytes").inc(counters.get("shuffle_bytes"))
+        METRICS.counter("mr.task_retries").inc(counters.get("task_retries"))
         return JobResult(
             output_keys=out_keys,
             output_values=out_values,
@@ -204,6 +217,14 @@ class MapReduceRuntime:
     # -- phases ----------------------------------------------------------------
 
     def _map_phase(self, job, splits, dfs_file, counters, cost, working_region):
+        ctx = self.ctx
+        with ctx.span("mr:map", category="mapreduce", splits=len(splits)) as sp:
+            result = self._map_splits(job, splits, dfs_file, counters, cost,
+                                      working_region)
+            sp.set("output_records", counters.get("map_output_records"))
+        return result
+
+    def _map_splits(self, job, splits, dfs_file, counters, cost, working_region):
         ctx = self.ctx
         instr_before = ctx.events.instructions
         partitions = [[] for _ in range(self.num_reducers)]
@@ -226,7 +247,10 @@ class MapReduceRuntime:
                 continue
             keys = np.asarray(keys)
             if job.use_combiner:
-                keys, values = self._combine(job, keys, values, working_region)
+                with ctx.span("mr:combine", category="mapreduce",
+                              records=int(len(keys))):
+                    keys, values = self._combine(job, keys, values,
+                                                 working_region)
             out_records = len(keys)
             total_out_records += out_records
             out_bytes = out_records * job.intermediate_record_bytes
@@ -283,11 +307,24 @@ class MapReduceRuntime:
     def _reduce_phase(self, job, partitions, map_out_records, counters, cost,
                       working_region, input_nbytes):
         ctx = self.ctx
+        with ctx.span("mr:reduce", category="mapreduce",
+                      reducers=self.num_reducers) as sp:
+            result = self._reduce_partitions(
+                job, partitions, map_out_records, counters, cost,
+                working_region, input_nbytes)
+            sp.set("output_records", counters.get("reduce_output_records"))
+        return result
+
+    def _reduce_partitions(self, job, partitions, map_out_records, counters,
+                           cost, working_region, input_nbytes):
+        ctx = self.ctx
         instr_before = ctx.events.instructions
         map_output_bytes = map_out_records * job.intermediate_record_bytes
         shuffle_bytes = map_output_bytes * job.shuffle_fraction()
         counters.add("shuffle_bytes", shuffle_bytes)
-        ctx.seq_read("mr:shuffle", shuffle_bytes)
+        with ctx.span("mr:shuffle", category="mapreduce",
+                      shuffle_bytes=shuffle_bytes):
+            ctx.seq_read("mr:shuffle", shuffle_bytes)
 
         all_keys = []
         all_values = []
@@ -299,11 +336,14 @@ class MapReduceRuntime:
             has_values = chunks[0][1] is not None
             values = np.concatenate([c[1] for c in chunks]) if has_values else None
 
-            charge_sort(ctx, len(keys), "mr:sortbuf", job.intermediate_record_bytes)
-            order = np.argsort(keys, kind="stable")
-            keys = keys[order]
-            if values is not None:
-                values = values[order]
+            with ctx.span("mr:sort", category="mapreduce",
+                          records=int(len(keys))):
+                charge_sort(ctx, len(keys), "mr:sortbuf",
+                            job.intermediate_record_bytes)
+                order = np.argsort(keys, kind="stable")
+                keys = keys[order]
+                if values is not None:
+                    values = values[order]
             self.overhead.charge(ctx, len(keys), len(keys) * job.intermediate_record_bytes)
             job.reduce_cost.charge(ctx, len(keys), working_region)
             if job.group_by_key:

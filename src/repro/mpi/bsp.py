@@ -119,55 +119,66 @@ class BspRuntime:
         total_comm = 0.0
 
         with ctx.code(program.code_profile):
-            instr_before = ctx.events.instructions
-            states = [
-                program.init_rank(rank, self.num_ranks, ctx)
-                for rank in range(self.num_ranks)
-            ]
-            input_bytes = program.input_bytes()
-            ctx.seq_read(f"dfs:{program.name}", input_bytes, elem=64)
-            cost.add(PhaseCost(
-                name="load",
-                cpu_seconds=self._cpu_seconds(ctx.events.instructions - instr_before),
-                disk_read_bytes=input_bytes,
-                working_bytes=input_bytes,
-                fixed_seconds=self.JOB_FIXED_SECONDS,
-            ))
+            with ctx.span(f"bsp:load:{program.name}", category="mpi") as sp:
+                instr_before = ctx.events.instructions
+                states = [
+                    program.init_rank(rank, self.num_ranks, ctx)
+                    for rank in range(self.num_ranks)
+                ]
+                input_bytes = program.input_bytes()
+                sp.set("input_bytes", input_bytes)
+                ctx.seq_read(f"dfs:{program.name}", input_bytes, elem=64)
+                cost.add(PhaseCost(
+                    name="load",
+                    cpu_seconds=self._cpu_seconds(
+                        ctx.events.instructions - instr_before),
+                    disk_read_bytes=input_bytes,
+                    working_bytes=input_bytes,
+                    fixed_seconds=self.JOB_FIXED_SECONDS,
+                ))
 
             inboxes = [[] for _ in range(self.num_ranks)]
             step = 0
             while step < self.max_supersteps:
-                instr_before = ctx.events.instructions
-                comms = [Communicator(r, self.num_ranks) for r in range(self.num_ranks)]
-                any_active = False
-                for rank in range(self.num_ranks):
-                    active = program.superstep(
-                        step, rank, states[rank], inboxes[rank], comms[rank], ctx
-                    )
-                    any_active = any_active or bool(active)
+                with ctx.span(f"bsp:superstep:{step}", category="mpi",
+                              ranks=self.num_ranks) as sp:
+                    instr_before = ctx.events.instructions
+                    comms = [Communicator(r, self.num_ranks)
+                             for r in range(self.num_ranks)]
+                    any_active = False
+                    for rank in range(self.num_ranks):
+                        active = program.superstep(
+                            step, rank, states[rank], inboxes[rank],
+                            comms[rank], ctx
+                        )
+                        any_active = any_active or bool(active)
 
-                # Barrier: deliver all messages for the next superstep.
-                next_inboxes = [[] for _ in range(self.num_ranks)]
-                step_comm = 0.0
-                for comm in comms:
-                    step_comm += comm.bytes_sent
-                    for dst, payloads in comm.drain().items():
-                        next_inboxes[dst].extend(payloads)
-                if step_comm:
-                    # Pack/unpack traffic plus per-message library overhead.
-                    ctx.seq_write("mpi:sendbuf", step_comm)
-                    ctx.seq_read("mpi:recvbuf", step_comm)
-                    ctx.int_ops(0.05 * step_comm)
-                total_comm += step_comm
+                    # Barrier: deliver all messages for the next superstep.
+                    next_inboxes = [[] for _ in range(self.num_ranks)]
+                    step_comm = 0.0
+                    for comm in comms:
+                        step_comm += comm.bytes_sent
+                        for dst, payloads in comm.drain().items():
+                            next_inboxes[dst].extend(payloads)
+                    if step_comm:
+                        # Pack/unpack traffic plus per-message library
+                        # overhead.
+                        with ctx.span("bsp:exchange", category="mpi",
+                                      bytes=step_comm):
+                            ctx.seq_write("mpi:sendbuf", step_comm)
+                            ctx.seq_read("mpi:recvbuf", step_comm)
+                            ctx.int_ops(0.05 * step_comm)
+                    total_comm += step_comm
+                    sp.set("comm_bytes", step_comm)
 
-                cost.add(PhaseCost(
-                    name=f"superstep:{step}",
-                    cpu_seconds=self._cpu_seconds(
-                        ctx.events.instructions - instr_before
-                    ),
-                    shuffle_bytes=step_comm,
-                    working_bytes=step_comm,
-                ))
+                    cost.add(PhaseCost(
+                        name=f"superstep:{step}",
+                        cpu_seconds=self._cpu_seconds(
+                            ctx.events.instructions - instr_before
+                        ),
+                        shuffle_bytes=step_comm,
+                        working_bytes=step_comm,
+                    ))
 
                 inboxes = next_inboxes
                 step += 1

@@ -19,6 +19,7 @@ import math
 from dataclasses import dataclass
 
 from repro.nosql.sstable import BLOCK_SIZE, SSTable, Value
+from repro.obs.metrics import METRICS
 from repro.uarch.codemodel import NOSQL_STACK
 from repro.uarch.perfctx import context_or_null
 
@@ -87,6 +88,11 @@ class LsmStore:
         self._sstables: list = []   # newest last
         self._generation = 0
         self._pending_churn_ops = 0
+        # Registry counters are resolved once; incrementing on the op
+        # hot paths is then a single attribute addition.
+        self._ops_counter = METRICS.counter("nosql.ops")
+        self._bloom_probe_counter = METRICS.counter("nosql.bloom_probes")
+        self._bloom_skip_counter = METRICS.counter("nosql.bloom_skips")
 
     # -- public API -----------------------------------------------------------
 
@@ -116,11 +122,13 @@ class LsmStore:
                 return None if value.is_tombstone else value
             for sstable in reversed(self._sstables):
                 self.stats.bloom_probes += 1
+                self._bloom_probe_counter.inc()
                 ctx.skewed_read(self._region("bloom"), sstable.bloom.num_hashes,
                                 elem=1, hot_fraction=0.01, hot_prob=0.6)
                 ctx.int_ops(12 * sstable.bloom.num_hashes)
                 if not sstable.bloom.might_contain(key):
                     self.stats.bloom_skips += 1
+                    self._bloom_skip_counter.inc()
                     continue
                 # Index search + one block read.
                 probes = max(1, int(math.log2(max(2, len(sstable)))))
@@ -178,15 +186,19 @@ class LsmStore:
         if not self._memtable:
             return
         ctx = self.ctx
-        items = sorted(self._memtable.items())
-        run_bytes = sum(len(k) + v.size for k, v in items)
-        ctx.seq_write(self._region("data"), run_bytes)
-        ctx.int_ops(30 * len(items))
-        self._generation += 1
-        self._sstables.append(SSTable(items, generation=self._generation))
-        self._memtable = {}
-        self._memtable_bytes = 0
+        with ctx.span("nosql:flush", category="nosql",
+                      records=len(self._memtable)) as sp:
+            items = sorted(self._memtable.items())
+            run_bytes = sum(len(k) + v.size for k, v in items)
+            sp.set("run_bytes", run_bytes)
+            ctx.seq_write(self._region("data"), run_bytes)
+            ctx.int_ops(30 * len(items))
+            self._generation += 1
+            self._sstables.append(SSTable(items, generation=self._generation))
+            self._memtable = {}
+            self._memtable_bytes = 0
         self.stats.flushes += 1
+        METRICS.counter("nosql.flushes").inc()
         if len(self._sstables) >= self.config.compaction_trigger:
             self._compact()
 
@@ -219,21 +231,25 @@ class LsmStore:
     def _compact(self) -> None:
         """Size-tiered full merge of all runs into one."""
         ctx = self.ctx
-        merged: dict = {}
-        total = 0
-        for sstable in self._sstables:   # oldest first; later wins
-            for key, value in sstable.items():
-                merged[key] = value
-            total += sstable.data_bytes
-        items = sorted((k, v) for k, v in merged.items() if not v.is_tombstone)
-        ctx.seq_read(self._region("data"), total)
-        merged_bytes = sum(len(k) + v.size for k, v in items)
-        ctx.seq_write(self._region("data"), merged_bytes)
-        ctx.int_ops(25 * len(items))
+        with ctx.span("nosql:compact", category="nosql",
+                      runs=len(self._sstables)) as sp:
+            merged: dict = {}
+            total = 0
+            for sstable in self._sstables:   # oldest first; later wins
+                for key, value in sstable.items():
+                    merged[key] = value
+                total += sstable.data_bytes
+            items = sorted((k, v) for k, v in merged.items() if not v.is_tombstone)
+            ctx.seq_read(self._region("data"), total)
+            merged_bytes = sum(len(k) + v.size for k, v in items)
+            ctx.seq_write(self._region("data"), merged_bytes)
+            ctx.int_ops(25 * len(items))
+            sp.set("compaction_bytes", total + merged_bytes)
         self.stats.compaction_bytes += total + merged_bytes
         self._generation += 1
         self._sstables = [SSTable(items, generation=self._generation)] if items else []
         self.stats.compactions += 1
+        METRICS.counter("nosql.compactions").inc()
 
     #: Short-lived allocation per operation (RPC buffers, cell objects).
     OP_CHURN_BYTES = 200 * 1024
@@ -243,6 +259,7 @@ class LsmStore:
     CHURN_BATCH_OPS = 64
 
     def _charge_op(self, ctx) -> None:
+        self._ops_counter.inc()
         config = self.config
         ctx.int_ops(config.per_op_int)
         ctx.branch_ops(config.per_op_branch)

@@ -1,0 +1,54 @@
+"""Engine-level observability: span tracing and a process-wide metrics
+registry.
+
+The measurement layer the suite itself runs on: engines open spans via
+``ctx.span(...)`` (free when tracing is off) and report aggregate
+statistics into :data:`~repro.obs.metrics.METRICS`; the harness threads
+a :class:`~repro.obs.trace.Tracer` through traced runs and stores the
+resulting span tree on the :class:`~repro.core.harness.CharacterizationResult`.
+See docs/OBSERVABILITY.md.
+"""
+
+from repro.obs.export import (
+    dump_json,
+    render_trace,
+    span_to_dict,
+    trace_to_chrome,
+    trace_to_tree,
+)
+from repro.obs.metrics import (
+    METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_metrics,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    resolve_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "METRICS",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "dump_json",
+    "render_metrics",
+    "render_trace",
+    "resolve_tracer",
+    "span_to_dict",
+    "trace_to_chrome",
+    "trace_to_tree",
+]

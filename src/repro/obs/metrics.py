@@ -1,0 +1,147 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+Engine statistics today live in per-object records (``Counters`` on a
+MapReduce job, ``StoreStats`` on an LSM store, ``QueryStats`` on a SQL
+query) that vanish with the object.  The registry aggregates them at the
+process level -- how many jobs ran, how many bloom probes were skipped,
+how long data preparation took -- so the ``repro metrics`` CLI and tests
+can observe engine behavior without plumbing result objects around.
+
+Zero-dependency by design and cheap on hot paths: incrementing a counter
+is one attribute addition.  Worker processes keep their own registry
+(process-wide means *this* process); parallel fan-out therefore reports
+the parent's orchestration metrics, not the workers' engine internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a gauge")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value that can move both ways."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+
+@dataclass
+class Histogram:
+    """Summary statistics of observed samples (count/sum/min/max/last)."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+    last: float = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        self.last = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass
+class MetricsRegistry:
+    """Create-or-get registry of named metrics.
+
+    Names are dotted paths by convention (``mr.jobs``,
+    ``nosql.bloom_probes``); each name maps to exactly one metric kind --
+    asking for a counter under an existing gauge name raises.
+    """
+
+    counters: dict = field(default_factory=dict)
+    gauges: dict = field(default_factory=dict)
+    histograms: dict = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        return self._get(self.counters, name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(self.gauges, name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(self.histograms, name, Histogram)
+
+    def _get(self, table: dict, name: str, factory):
+        metric = table.get(name)
+        if metric is None:
+            for other in (self.counters, self.gauges, self.histograms):
+                if other is not table and name in other:
+                    raise ValueError(
+                        f"metric {name!r} already registered as a different kind")
+            metric = table[name] = factory(name)
+        return metric
+
+    def snapshot(self) -> dict:
+        """A plain-dict dump of every metric, JSON-serializable."""
+        out = {}
+        for counter in self.counters.values():
+            out[counter.name] = {"kind": "counter", "value": counter.value}
+        for gauge in self.gauges.values():
+            out[gauge.name] = {"kind": "gauge", "value": gauge.value}
+        for hist in self.histograms.values():
+            out[hist.name] = {
+                "kind": "histogram", "count": hist.count, "sum": hist.total,
+                "min": hist.min if hist.count else 0.0,
+                "max": hist.max if hist.count else 0.0,
+                "mean": hist.mean,
+            }
+        return dict(sorted(out.items()))
+
+    def reset(self) -> None:
+        """Drop every registered metric (tests, fresh CLI runs)."""
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+
+#: The process-wide registry every engine reports into.
+METRICS = MetricsRegistry()
+
+
+def render_metrics(registry: MetricsRegistry = None) -> str:
+    """Human-readable table of the registry (the ``repro metrics`` view)."""
+    from repro.core.report import render_table
+
+    registry = registry or METRICS
+    rows = []
+    for name, record in registry.snapshot().items():
+        if record["kind"] == "histogram":
+            value = (f"n={record['count']} mean={record['mean']:.4g} "
+                     f"min={record['min']:.4g} max={record['max']:.4g}")
+        else:
+            value = f"{record['value']:.6g}"
+        rows.append([name, record["kind"], value])
+    if not rows:
+        rows.append(["(no metrics recorded)", "-", "-"])
+    return render_table(["Metric", "Kind", "Value"], rows,
+                        title="repro metrics registry")

@@ -107,29 +107,44 @@ class ServingSimulation:
         self.sample_requests = sample_requests
 
     def run(self, offered_rps: float, seed: int = 0) -> ServingResult:
+        from repro.obs.metrics import METRICS
+
         ctx = self.ctx
         rng = np.random.default_rng(seed)
         n_sample = self.sample_requests
         mix: dict = {}
         churn_batch = 32
         instr_before = ctx.events.instructions
-        with ctx.code(self.server.code_profile):
-            for i in range(n_sample):
-                kind = self.server.handle(rng, ctx)
-                mix[kind] = mix.get(kind, 0) + 1
-                if (i + 1) % churn_batch == 0:
-                    self.server.charge_request_churn(ctx, churn_batch)
-            self.server.charge_request_churn(ctx, n_sample % churn_batch)
+        with ctx.span(f"serving:sample:{self.server.name}", category="serving",
+                      requests=n_sample, offered_rps=offered_rps):
+            with ctx.code(self.server.code_profile):
+                for i in range(n_sample):
+                    kind = self.server.handle(rng, ctx)
+                    mix[kind] = mix.get(kind, 0) + 1
+                    if (i + 1) % churn_batch == 0:
+                        self.server.charge_request_churn(ctx, churn_batch)
+                self.server.charge_request_churn(ctx, n_sample % churn_batch)
         instructions = ctx.events.instructions - instr_before
         per_request = instructions / n_sample if ctx.profiling else self._fallback_demand()
         service_seconds = (
             per_request * self.server.effective_cpi
             / self.cluster.node.machine.freq_hz
         )
-        queueing = mm_c(
-            offered_rps, service_seconds,
-            servers=self.cluster.node.cores * self.cluster.num_nodes,
-        )
+        with ctx.span(f"serving:queueing:{self.server.name}",
+                      category="serving") as sp:
+            queueing = mm_c(
+                offered_rps, service_seconds,
+                servers=self.cluster.node.cores * self.cluster.num_nodes,
+            )
+            # The request lifecycle split the paper's latency SLOs care
+            # about: time in queue vs. time in service (modeled seconds).
+            sp.set("service_seconds", service_seconds)
+            sp.set("queue_wait_seconds",
+                   max(0.0, queueing.mean_latency - service_seconds))
+        METRICS.counter("serving.requests_sampled").inc(n_sample)
+        METRICS.histogram("serving.service_seconds").observe(service_seconds)
+        METRICS.histogram("serving.queue_wait_seconds").observe(
+            max(0.0, queueing.mean_latency - service_seconds))
         return ServingResult(
             server=self.server.name,
             offered_rps=offered_rps,

@@ -73,11 +73,16 @@ class SparkContext:
     # -- accounting --------------------------------------------------------------
 
     def _materialize(self, rdd: RDD) -> list:
+        from repro.obs.metrics import METRICS
+
         instr_before = self.ctx.events.instructions
         self._disk_read = 0.0
         self._shuffle = 0.0
-        with self.ctx.code(FRAMEWORK_STACK):
-            result = rdd._compute()
+        with self.ctx.span(f"spark:action:{rdd.name}", category="spark") as sp:
+            with self.ctx.code(FRAMEWORK_STACK):
+                result = rdd._compute()
+            sp.set("disk_read_bytes", self._disk_read)
+            sp.set("shuffle_bytes", self._shuffle)
         instructions = self.ctx.events.instructions - instr_before
         machine = self.cluster.node.machine
         self.cost.add(PhaseCost(
@@ -88,6 +93,9 @@ class SparkContext:
             working_bytes=self._shuffle,
             fixed_seconds=self.ACTION_FIXED_SECONDS,
         ))
+        METRICS.counter("spark.actions").inc()
+        METRICS.counter("spark.shuffle_bytes").inc(self._shuffle)
+        METRICS.counter("spark.disk_read_bytes").inc(self._disk_read)
         return result
 
     def _note_disk_read(self, nbytes: float) -> None:

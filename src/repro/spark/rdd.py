@@ -110,25 +110,31 @@ class RDD:
         ctx = self.sc.ctx
         if self._materialized is not None:
             # Cache hit: charge a memory re-scan instead of recompute/disk.
-            ctx.seq_read(f"spark:cache:{self.name}", self._cached_bytes)
-            self.sc._note_cache_hit(self._cached_bytes)
+            with ctx.span(f"spark:cachehit:{self.name}", category="spark",
+                          cached_bytes=self._cached_bytes):
+                ctx.seq_read(f"spark:cache:{self.name}", self._cached_bytes)
+                self.sc._note_cache_hit(self._cached_bytes)
             return self._materialized
 
         if self.parent is None:
-            partitions = [p for p in self._source_partitions]
-            if self._from_memory:
-                ctx.seq_read(f"spark:mem:{self.name}", self._source_nbytes)
-            else:
-                ctx.seq_read(f"dfs:{self.name}", self._source_nbytes, elem=64)
-                self.sc._note_disk_read(self._source_nbytes)
+            with ctx.span(f"spark:source:{self.name}", category="spark",
+                          nbytes=self._source_nbytes):
+                partitions = [p for p in self._source_partitions]
+                if self._from_memory:
+                    ctx.seq_read(f"spark:mem:{self.name}", self._source_nbytes)
+                else:
+                    ctx.seq_read(f"dfs:{self.name}", self._source_nbytes, elem=64)
+                    self.sc._note_disk_read(self._source_nbytes)
         else:
             parent_parts = self.parent._compute()
-            partitions = []
-            for payload in parent_parts:
-                records = _payload_records(payload)
-                self.sc.overhead.charge(ctx, records, records * 8)
-                self.cost.charge(ctx, records, f"spark:{self.name}:working")
-                partitions.append(self.fn(payload, ctx))
+            with ctx.span(f"spark:stage:{self.name}", category="spark",
+                          partitions=len(parent_parts)):
+                partitions = []
+                for payload in parent_parts:
+                    records = _payload_records(payload)
+                    self.sc.overhead.charge(ctx, records, records * 8)
+                    self.cost.charge(ctx, records, f"spark:{self.name}:working")
+                    partitions.append(self.fn(payload, ctx))
 
         if self._cached:
             self._materialized = partitions
@@ -148,11 +154,17 @@ class _ShuffleRDD(RDD):
     def _compute(self) -> list:
         ctx = self.sc.ctx
         if self._materialized is not None:
-            ctx.seq_read(f"spark:cache:{self.name}", self._cached_bytes)
-            self.sc._note_cache_hit(self._cached_bytes)
+            with ctx.span(f"spark:cachehit:{self.name}", category="spark",
+                          cached_bytes=self._cached_bytes):
+                ctx.seq_read(f"spark:cache:{self.name}", self._cached_bytes)
+                self.sc._note_cache_hit(self._cached_bytes)
             return self._materialized
 
         parent_parts = self.parent._compute()
+        with ctx.span(f"spark:shuffle:{self.name}", category="spark") as span:
+            return self._compute_shuffle(ctx, parent_parts, span)
+
+    def _compute_shuffle(self, ctx, parent_parts, span) -> list:
         keys_list, values_list = [], []
         for payload in parent_parts:
             if isinstance(payload, tuple):
@@ -180,6 +192,8 @@ class _ShuffleRDD(RDD):
         records = len(keys)
         record_bytes = 16 if has_values else 8
         shuffle_bytes = records * record_bytes
+        span.set("records", records)
+        span.set("shuffle_bytes", shuffle_bytes)
         self.sc._note_shuffle(shuffle_bytes)
         ctx.seq_write("spark:shuffle:out", shuffle_bytes)
         ctx.seq_read("spark:shuffle:in", shuffle_bytes)

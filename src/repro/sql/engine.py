@@ -77,12 +77,20 @@ class SqlEngine:
         return self.run_plan(parse(sql))
 
     def run_plan(self, query: Query) -> QueryResult:
+        from repro.obs.metrics import METRICS
+
         ctx = self.ctx
         stats = QueryStats()
         cost = JobCost()
         instr_before = ctx.events.instructions
-        with ctx.code(DATABASE_STACK):
-            result = self._execute(query, stats)
+        with ctx.span("sql:query", category="sql") as sp:
+            with ctx.code(DATABASE_STACK):
+                result = self._execute(query, stats)
+            sp.set("rows_scanned", stats.rows_scanned)
+            sp.set("rows_out", result.num_rows)
+        METRICS.counter("sql.queries").inc()
+        METRICS.counter("sql.rows_scanned").inc(stats.rows_scanned)
+        METRICS.counter("sql.input_bytes").inc(stats.input_bytes)
         instructions = ctx.events.instructions - instr_before
         machine = self.cluster.node.machine
         cost.add(PhaseCost(
@@ -98,6 +106,7 @@ class SqlEngine:
     # -- internals ---------------------------------------------------------------
 
     def _execute(self, query: Query, stats: QueryStats) -> Table:
+        ctx = self.ctx
         base = self._scan_side(query, query.table, joined=query.join is not None,
                                stats=stats)
         if query.join is not None:
@@ -107,11 +116,13 @@ class SqlEngine:
             # Keys are qualified "<table>.<col>"; split per side.
             base_key = left_key if left_key.split(".")[0] == base.name else right_key
             other_key = right_key if base_key is left_key else left_key
-            current = operators.hash_join(
-                base, other,
-                base_key.split(".", 1)[1], other_key.split(".", 1)[1],
-                self.ctx, region="sql:join",
-            )
+            with ctx.span("sql:join", category="sql") as sp:
+                current = operators.hash_join(
+                    base, other,
+                    base_key.split(".", 1)[1], other_key.split(".", 1)[1],
+                    self.ctx, region="sql:join",
+                )
+                sp.set("rows", current.num_rows)
             stats.rows_joined = current.num_rows
         else:
             current = base
@@ -125,7 +136,10 @@ class SqlEngine:
             for p in query.where
         ]
         if predicates:
-            current = operators.filter_rows(current, predicates, self.ctx)
+            with ctx.span("sql:filter", category="sql",
+                          predicates=len(predicates)) as sp:
+                current = operators.filter_rows(current, predicates, self.ctx)
+                sp.set("rows", current.num_rows)
             stats.rows_filtered = current.num_rows
 
         if query.is_aggregate:
@@ -139,23 +153,29 @@ class SqlEngine:
                 for a in query.aggregates
             ]
             group_by = [self._resolve(query, g, joined) for g in query.group_by]
-            return operators.hash_aggregate(
-                current, group_by, aggregates, self.ctx, region="sql:agg"
-            )
+            with ctx.span("sql:aggregate", category="sql",
+                          groups=len(group_by)):
+                return operators.hash_aggregate(
+                    current, group_by, aggregates, self.ctx, region="sql:agg"
+                )
         columns = [self._resolve(query, c, joined) for c in query.select_columns]
         if not columns:
             return current
-        return operators.project(current, columns, self.ctx)
+        with ctx.span("sql:project", category="sql", columns=len(columns)):
+            return operators.project(current, columns, self.ctx)
 
     def _scan_side(self, query: Query, ref, joined: bool, stats: QueryStats) -> Table:
         registered = self._lookup(ref.name)
         needed = self._columns_for(query, ref, registered.table, joined)
         self.ctx.touch(f"sql:table:{ref.name}",
                        registered.nbytes * PAPER_TABLE_RATIO)
-        scanned = operators.scan(
-            registered.table, needed, registered.nbytes, self.ctx,
-            region=f"sql:table:{ref.name}",
-        )
+        with self.ctx.span(f"sql:scan:{ref.name}", category="sql",
+                           columns=len(needed)) as sp:
+            scanned = operators.scan(
+                registered.table, needed, registered.nbytes, self.ctx,
+                region=f"sql:table:{ref.name}",
+            )
+            sp.set("rows", registered.table.num_rows)
         stats.rows_scanned += registered.table.num_rows
         stats.input_bytes += registered.nbytes * (
             len(needed) / max(1, len(registered.table.columns))

@@ -3,8 +3,8 @@
     from repro import suite
     outcome = suite.characterize("WordCount")
     print(outcome.events.l1i_mpki, outcome.result.metric_value)
-    points = suite.suite(["Sort", "Grep"])          # suite-level entry
-    sweep = suite.sweep("Grep")
+    points = suite.run_suite(["Sort", "Grep"])      # suite-level entry
+    sweep = suite.sweep("Grep", jobs=4)
 
 The default harness persists results to the on-disk cache (see
 :mod:`repro.core.diskcache`), so repeated invocations across processes
@@ -16,6 +16,7 @@ in-memory memo and the disk cache.
 from __future__ import annotations
 
 import os
+from typing import Optional
 
 from repro.core.diskcache import DiskCache, ENV_NO_CACHE
 from repro.core.harness import CharacterizationResult, Harness
@@ -30,30 +31,62 @@ def _make_default() -> Harness:
 _DEFAULT = _make_default()
 
 
-def characterize(name: str, scale: int = 1, stack: str = None) -> CharacterizationResult:
-    """Profile one workload on the default E5645 testbed."""
-    return _DEFAULT.characterize(name, scale=scale, stack=stack)
+def characterize(name: str, scale: int = 1, stack: Optional[str] = None,
+                 trace: bool = False) -> CharacterizationResult:
+    """Profile one workload on the default E5645 testbed.
+
+    ``trace=True`` attaches a structured span tree to the result (see
+    :mod:`repro.obs`); traced results use separate cache entries.
+    """
+    return _DEFAULT.characterize(name, scale=scale, stack=stack, trace=trace)
 
 
-def suite(names=None, scale: int = 1, jobs: int = None) -> list:
+def run_suite(names=None, scale: int = 1,
+              jobs: Optional[int] = None) -> list[CharacterizationResult]:
     """Characterize many workloads (all 19 by default) at one scale.
 
-    ``jobs`` > 1 fans the missing points across worker processes; the
-    results are bit-identical to a serial run.
+    ``jobs`` > 1 fans the missing points across worker processes for
+    this call only (the default harness is not permanently modified);
+    the results are bit-identical to a serial run.
     """
+    saved = _DEFAULT.jobs
     if jobs is not None:
         _DEFAULT.jobs = max(1, int(jobs))
-    return _DEFAULT.suite(names=names, scale=scale)
+    try:
+        return _DEFAULT.suite(names=names, scale=scale)
+    finally:
+        _DEFAULT.jobs = saved
 
 
-def sweep(name: str, scales=None, stack: str = None) -> list:
-    """Run the paper's data-volume sweep for one workload."""
+def suite(names=None, scale: int = 1,
+          jobs: Optional[int] = None) -> list[CharacterizationResult]:
+    """Deprecated alias of :func:`run_suite`.
+
+    The name shadowed the module itself (``from repro import suite;
+    suite.suite(...)``), so new code should call :func:`run_suite`.
+    """
+    return run_suite(names=names, scale=scale, jobs=jobs)
+
+
+def sweep(name: str, scales=None, stack: Optional[str] = None,
+          jobs: Optional[int] = None) -> list[CharacterizationResult]:
+    """Run the paper's data-volume sweep for one workload.
+
+    ``jobs`` > 1 fans the missing scale points across worker processes
+    for this call only, mirroring :func:`run_suite`.
+    """
     from repro.core.workload import SCALE_FACTORS
 
-    return _DEFAULT.sweep(name, scales=scales or SCALE_FACTORS, stack=stack)
+    saved = _DEFAULT.jobs
+    if jobs is not None:
+        _DEFAULT.jobs = max(1, int(jobs))
+    try:
+        return _DEFAULT.sweep(name, scales=scales or SCALE_FACTORS, stack=stack)
+    finally:
+        _DEFAULT.jobs = saved
 
 
-def names() -> list:
+def names() -> list[str]:
     """The 19 workload names in Table 6 order."""
     return workload_names()
 

@@ -134,6 +134,17 @@ class PerfEvents:
             setattr(merged, f.name, getattr(self, f.name) + getattr(other, f.name))
         return merged
 
+    def delta(self, earlier: "PerfEvents") -> "PerfEvents":
+        """Counts accumulated since the ``earlier`` snapshot (self - earlier).
+
+        Counters are monotone, so span tracing captures a snapshot at
+        scope entry and computes the exact per-phase delta at exit.
+        """
+        diff = PerfEvents()
+        for f in fields(PerfEvents):
+            setattr(diff, f.name, getattr(self, f.name) - getattr(earlier, f.name))
+        return diff
+
     def copy(self) -> "PerfEvents":
         return PerfEvents().merge(self)
 

@@ -32,6 +32,7 @@ from repro.uarch.codemodel import (
     SPEC_CODE,
     generate_fetch_addresses,
 )
+from repro.obs.trace import NULL_TRACER
 from repro.uarch.events import PerfEvents, ProfileReport
 from repro.uarch.hierarchy import MachineConfig, MemorySystem
 from repro.uarch.regions import AddressSpace, Region
@@ -49,6 +50,20 @@ class NullPerfContext:
     #: Always-zero event record so engines can read ``ctx.events``
     #: uniformly (e.g. per-phase instruction deltas) without branching.
     events = PerfEvents()
+
+    #: Span tracer (see :mod:`repro.obs.trace`); the shared null tracer
+    #: unless the harness attaches a recording one for a traced run.
+    tracer = NULL_TRACER
+
+    # -- span tracing --------------------------------------------------------
+    def span(self, name: str, category: str = "", **attrs):
+        """Open a trace span scoped to this context's event counters.
+
+        Returns a context manager; with the null tracer (the default)
+        it is a shared no-op object, so instrumentation costs nothing
+        when tracing is off.
+        """
+        return self.tracer.span(name, ctx=self, category=category, **attrs)
 
     # -- code profile scoping ------------------------------------------------
     @contextmanager
@@ -124,10 +139,12 @@ class PerfContext(NullPerfContext):
         ifetch_contraction: int = 16384,
         seed: int = 0,
         cap: int = 65536,
+        tracer=None,
     ):
         if contraction <= 0 or ifetch_contraction <= 0:
             raise ValueError("contraction factors must be positive")
         self.machine = machine
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.contraction = contraction
         self.ifetch_contraction = ifetch_contraction
         self.cap = cap

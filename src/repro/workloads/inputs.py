@@ -31,8 +31,18 @@ from repro.datagen.table import (
     ReviewSet,
 )
 from repro.datagen.text import TextCorpus, TextModel
+from repro.obs.metrics import METRICS
 
 MB = 1024 * 1024
+
+
+def _note_generated(kind: str, nbytes: float = 0.0, records: float = 0.0) -> None:
+    """Record one BDGS generate call in the process-wide metrics."""
+    METRICS.counter(f"datagen.{kind}.generated").inc()
+    if nbytes:
+        METRICS.counter("datagen.bytes_generated").inc(nbytes)
+    if records:
+        METRICS.counter("datagen.records_generated").inc(records)
 
 #: Baseline text volume: stands for the paper's 32 GB (shrunk 8192x).
 BASE_TEXT_BYTES = 4 * MB
@@ -61,13 +71,17 @@ def text_model() -> TextModel:
 def text_input(scale: int, seed: int = 0) -> TextCorpus:
     """Scaled Wikipedia-like corpus (~``scale`` x 4 MB)."""
     rng = np.random.default_rng(1000 + seed)
-    return text_model().generate_bytes(BASE_TEXT_BYTES * scale, rng)
+    corpus = text_model().generate_bytes(BASE_TEXT_BYTES * scale, rng)
+    _note_generated("text", nbytes=corpus.nbytes, records=corpus.num_docs)
+    return corpus
 
 
 def pages_input(scale: int, seed: int = 0) -> TextCorpus:
     """Corpus with a fixed number of pages (Index/Nutch geometry)."""
     rng = np.random.default_rng(2000 + seed)
-    return text_model().generate(BASE_PAGES * scale, rng)
+    corpus = text_model().generate(BASE_PAGES * scale, rng)
+    _note_generated("pages", nbytes=corpus.nbytes, records=corpus.num_docs)
+    return corpus
 
 
 @lru_cache(maxsize=1)
@@ -79,7 +93,9 @@ def web_graph_input(scale: int, seed: int = 0) -> Graph:
     """Scaled directed web graph: 2^12 baseline nodes, x4 per doubling."""
     extra = max(0, int(round(np.log2(scale))))
     model = web_graph_model().scaled(extra)
-    return model.generate(np.random.default_rng(3000 + seed))
+    graph = model.generate(np.random.default_rng(3000 + seed))
+    _note_generated("web_graph", records=graph.num_edges)
+    return graph
 
 
 @lru_cache(maxsize=1)
@@ -94,6 +110,7 @@ def social_graph_input(scale: int, seed: int = 0) -> Graph:
     extra = max(0, int(round(np.log2(scale))))
     model = social_graph_model().scaled(extra)
     graph = model.generate(np.random.default_rng(4000 + seed), directed=False)
+    _note_generated("social_graph", records=graph.num_edges)
     return graph
 
 
@@ -105,7 +122,10 @@ def review_model() -> ReviewModel:
 def reviews_input(scale: int, seed: int = 0, base_reviews: int = 3000) -> ReviewSet:
     """Scaled Amazon-like review set."""
     rng = np.random.default_rng(5000 + seed)
-    return review_model().generate(base_reviews * scale, rng)
+    reviews = review_model().generate(base_reviews * scale, rng)
+    _note_generated("reviews", nbytes=reviews.nbytes,
+                    records=reviews.num_reviews)
+    return reviews
 
 
 @lru_cache(maxsize=1)
@@ -116,7 +136,10 @@ def ecommerce_model() -> ECommerceModel:
 def ecommerce_input(scale: int, seed: int = 0) -> ECommerceData:
     """Scaled ORDER/ITEM transaction tables."""
     rng = np.random.default_rng(6000 + seed)
-    return ecommerce_model().generate(BASE_ORDERS * scale, rng)
+    data = ecommerce_model().generate(BASE_ORDERS * scale, rng)
+    _note_generated("ecommerce", nbytes=data.nbytes,
+                    records=data.orders.num_rows)
+    return data
 
 
 @lru_cache(maxsize=1)
@@ -130,4 +153,7 @@ def resumes_input(scale: int, seed: int = 0) -> ResumeSet:
     probe = resume_model().generate(256, rng)
     avg = max(64.0, probe.value_sizes.mean())
     count = max(64, int(BASE_STORE_BYTES * scale / avg))
-    return resume_model().generate(count, rng)
+    resumes = resume_model().generate(count, rng)
+    _note_generated("resumes", nbytes=float(resumes.value_sizes.sum()),
+                    records=count)
+    return resumes

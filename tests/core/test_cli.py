@@ -11,7 +11,7 @@ class TestParser:
         actions = parser._subparsers._group_actions[0].choices
         assert set(actions) == {
             "list", "run", "sweep", "table", "figure", "roofline", "rank",
-            "export",
+            "export", "trace", "metrics",
         }
 
     def test_run_defaults(self):
@@ -59,3 +59,25 @@ class TestCommands:
     def test_unknown_figure(self):
         with pytest.raises(SystemExit):
             main(["figure", "9"])
+
+    def test_trace_tree(self, capsys):
+        assert main(["trace", "Grep"]) == 0
+        out = capsys.readouterr().out
+        assert "characterize:Grep" in out
+        assert "mr:map" in out
+
+    def test_trace_chrome_to_file(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "trace.json"
+        assert main(["trace", "Grep", "--format", "chrome",
+                     "--out", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+        assert all(e["ph"] == "X" for e in doc["traceEvents"])
+
+    def test_metrics(self, capsys):
+        assert main(["metrics", "Grep", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "harness.runs" in out
+        assert "mr.jobs" in out

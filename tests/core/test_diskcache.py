@@ -105,17 +105,23 @@ class TestHarnessWiring:
 
     def test_seed_machine_and_cluster_are_in_the_key(self, tmp_path):
         from repro.cluster.node import ClusterSpec
+        from repro.core.runspec import RunSpec
         from repro.uarch.hierarchy import XEON_E5310, XEON_E5645
 
         base = Harness(cache=DiskCache(root=str(tmp_path)))
+
+        def key(spec, harness=base):
+            return spec.resolved(harness).cache_key()
+
         keys = {
-            base._disk_key("Grep", 1, "hadoop", XEON_E5645),
-            base._disk_key("Grep", 1, "hadoop", XEON_E5310),
-            base._disk_key("Grep", 2, "hadoop", XEON_E5645),
-            base._disk_key("Grep", 1, "spark", XEON_E5645),
-            Harness(seed=7)._disk_key("Grep", 1, "hadoop", XEON_E5645),
-            Harness(cluster=ClusterSpec(num_nodes=3))._disk_key(
-                "Grep", 1, "hadoop", XEON_E5645),
+            key(RunSpec(workload="Grep", machine=XEON_E5645)),
+            key(RunSpec(workload="Grep", machine=XEON_E5310)),
+            key(RunSpec(workload="Grep", scale=2, machine=XEON_E5645)),
+            key(RunSpec(workload="Grep", stack="spark", machine=XEON_E5645)),
+            key(RunSpec(workload="Grep", machine=XEON_E5645),
+                harness=Harness(seed=7)),
+            key(RunSpec(workload="Grep", machine=XEON_E5645),
+                harness=Harness(cluster=ClusterSpec(num_nodes=3))),
         }
         assert len(keys) == 6
 

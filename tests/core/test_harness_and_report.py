@@ -93,3 +93,26 @@ class TestSuiteFacade:
         outcome = suite.characterize("Grep")
         assert outcome.workload == "Grep"
         assert len(suite.names()) == 19
+
+    def test_run_suite_jobs_are_not_sticky(self):
+        from repro import suite
+
+        saved = suite._DEFAULT.jobs
+        suite.run_suite(names=["Grep"], jobs=3)
+        assert suite._DEFAULT.jobs == saved
+        suite.sweep("Grep", scales=[1], jobs=3)
+        assert suite._DEFAULT.jobs == saved
+
+    def test_suite_is_deprecated_alias_of_run_suite(self):
+        from repro import suite
+
+        assert "run_suite" in suite.suite.__doc__
+        results = suite.suite(names=["Grep"])
+        assert [r.workload for r in results] == ["Grep"]
+
+    def test_facade_characterize_with_trace(self):
+        from repro import suite
+
+        outcome = suite.characterize("Grep", trace=True)
+        assert outcome.trace is not None
+        assert outcome.trace.find("mr:map") is not None

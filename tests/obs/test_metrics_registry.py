@@ -1,0 +1,108 @@
+"""Unit tests for the process-wide metrics registry."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_metrics,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.add(-3)
+        assert gauge.value == 7.0
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        hist = Histogram("h")
+        for value in (1.0, 3.0, 2.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.total == 6.0
+        assert hist.min == 1.0
+        assert hist.max == 3.0
+        assert hist.last == 2.0
+        assert hist.mean == 2.0
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram("h").mean == 0.0
+
+
+class TestRegistry:
+    def test_create_or_get_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.gauge("y") is registry.gauge("y")
+        assert registry.histogram("z") is registry.histogram("z")
+
+    def test_cross_kind_name_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("dup")
+        with pytest.raises(ValueError):
+            registry.gauge("dup")
+        with pytest.raises(ValueError):
+            registry.histogram("dup")
+
+    def test_snapshot_is_sorted_and_json_serializable(self):
+        registry = MetricsRegistry()
+        registry.counter("z.count").inc(2)
+        registry.gauge("a.level").set(1.5)
+        registry.histogram("m.lat").observe(0.25)
+        snap = registry.snapshot()
+        assert list(snap) == sorted(snap)
+        json.dumps(snap)
+        assert snap["z.count"] == {"kind": "counter", "value": 2.0}
+        assert snap["m.lat"]["count"] == 1
+
+    def test_empty_histogram_snapshot_has_finite_bounds(self):
+        registry = MetricsRegistry()
+        registry.histogram("h")
+        record = registry.snapshot()["h"]
+        assert record["min"] == 0.0 and record["max"] == 0.0
+        json.dumps(record, allow_nan=False)
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.snapshot() == {}
+
+    def test_global_registry_exists(self):
+        assert isinstance(METRICS, MetricsRegistry)
+
+
+class TestRender:
+    def test_render_lists_each_metric(self):
+        registry = MetricsRegistry()
+        registry.counter("mr.jobs").inc(4)
+        registry.histogram("lat").observe(2.0)
+        text = render_metrics(registry)
+        assert "mr.jobs" in text
+        assert "counter" in text
+        assert "n=1" in text
+
+    def test_render_empty_registry(self):
+        text = render_metrics(MetricsRegistry())
+        assert "no metrics recorded" in text

@@ -1,0 +1,113 @@
+"""Unit tests for the trace exporters: JSON tree, Chrome events, ASCII."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    dump_json,
+    render_trace,
+    span_to_dict,
+    trace_to_chrome,
+    trace_to_tree,
+)
+from repro.obs.trace import Tracer
+from repro.uarch.hierarchy import XEON_E5645
+from repro.uarch.perfctx import PerfContext
+
+
+def _sample_root():
+    ctx = PerfContext(XEON_E5645)
+    tracer = Tracer("sample")
+    with tracer.span("root", ctx=ctx, category="harness", scale=2):
+        ctx.int_ops(1000)
+        with tracer.span("map", ctx=ctx, category="mr"):
+            ctx.int_ops(600)
+        with tracer.span("reduce", ctx=ctx, category="mr"):
+            ctx.int_ops(400)
+    return tracer.finish()
+
+
+class TestTreeExport:
+    def test_span_to_dict_shape(self):
+        record = span_to_dict(_sample_root())
+        assert record["name"] == "root"
+        assert record["category"] == "harness"
+        assert [c["name"] for c in record["children"]] == ["map", "reduce"]
+        children_total = sum(c["instructions"] for c in record["children"])
+        assert record["instructions"] > children_total > 0
+        assert record["self_instructions"] == pytest.approx(
+            record["instructions"] - children_total)
+        assert record["events"]["int_ops"] > 0
+
+    def test_trace_to_tree_schema(self):
+        doc = trace_to_tree(_sample_root(), metadata={"workload": "Sort"})
+        assert doc["format"] == "repro-trace-tree"
+        assert doc["version"] == 1
+        assert doc["metadata"] == {"workload": "Sort"}
+        json.loads(dump_json(doc))
+
+
+class TestChromeExport:
+    def test_event_schema(self):
+        doc = trace_to_chrome(_sample_root(), metadata={"workload": "Sort"})
+        events = doc["traceEvents"]
+        assert len(events) == 3
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["pid"] == 1 and event["tid"] == 1
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+            assert "instructions" in event["args"]
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"] == {"workload": "Sort"}
+
+    def test_timestamps_relative_to_root_and_nested(self):
+        doc = trace_to_chrome(_sample_root())
+        root, map_ev, reduce_ev = doc["traceEvents"]
+        assert root["ts"] == 0.0
+        # Children fall inside the root event's [ts, ts+dur] window.
+        for child in (map_ev, reduce_ev):
+            assert child["ts"] >= root["ts"]
+            assert child["ts"] + child["dur"] <= root["ts"] + root["dur"] + 1e-6
+        assert map_ev["ts"] <= reduce_ev["ts"]
+
+    def test_non_scalar_attrs_filtered_from_args(self):
+        tracer = Tracer("t")
+        with tracer.span("s", records=3, blob=[1, 2, 3], label="x"):
+            pass
+        doc = trace_to_chrome(tracer.finish())
+        args = doc["traceEvents"][0]["args"]
+        assert args["records"] == 3
+        assert args["label"] == "x"
+        assert "blob" not in args
+
+    def test_valid_json_round_trip(self):
+        doc = trace_to_chrome(_sample_root())
+        parsed = json.loads(dump_json(doc))
+        assert parsed["traceEvents"]
+
+
+class TestDumpJson:
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            dump_json({"bad": float("nan")})
+
+    def test_deterministic_key_order(self):
+        assert dump_json({"b": 1, "a": 2}) == dump_json({"a": 2, "b": 1})
+
+
+class TestRenderTrace:
+    def test_text_tree(self):
+        text = render_trace(_sample_root())
+        assert text.startswith("trace: root")
+        assert "- map:" in text
+        assert "- reduce:" in text
+        assert "100.0%" in text  # the root's own share
+
+    def test_zero_instruction_trace_renders(self):
+        tracer = Tracer("t")
+        with tracer.span("empty"):
+            pass
+        text = render_trace(tracer.finish())
+        assert "0.0%" in text
