@@ -122,17 +122,19 @@ class Harness:
         self._cache[key] = outcome
         return outcome
 
-    def run_many(self, specs) -> list:
+    def run_many(self, specs, jobs: Optional[int] = None) -> list:
         """Run many points, in order; ``jobs`` > 1 fans missing ones out.
 
         ``specs`` may mix :class:`RunSpec` objects and legacy
-        ``(name, scale, stack)`` triples.
+        ``(name, scale, stack)`` triples.  ``jobs`` overrides the
+        harness-level worker count for this call only.
         """
         specs = [self._coerce(spec) for spec in specs]
-        if self.jobs > 1 and len(specs) > 1:
+        jobs = self.jobs if jobs is None else max(1, int(jobs))
+        if jobs > 1 and len(specs) > 1:
             from repro.core.parallel import parallel_characterize
 
-            parallel_characterize(self, specs)
+            parallel_characterize(self, specs, jobs=jobs)
         return [self.run(spec) for spec in specs]
 
     # -- kwargs shims (the pre-RunSpec surface; no caller breaks) --------------
@@ -151,16 +153,20 @@ class Harness:
                                 machine=machine, trace=trace))
 
     def sweep(self, name: str, scales=SCALE_FACTORS,
-              stack: Optional[str] = None) -> list:
+              stack: Optional[str] = None,
+              jobs: Optional[int] = None) -> list:
         """The paper's data-volume sweep (Table 6 geometry)."""
         return self.run_many(
-            [RunSpec(workload=name, scale=s, stack=stack) for s in scales])
+            [RunSpec(workload=name, scale=s, stack=stack) for s in scales],
+            jobs=jobs)
 
-    def suite(self, names=None, scale: int = 1) -> list:
+    def suite(self, names=None, scale: int = 1,
+              jobs: Optional[int] = None) -> list:
         """Characterize many workloads at one scale (Figures 4-6 input)."""
         names = names or registry.workload_names()
         return self.run_many(
-            [RunSpec(workload=name, scale=scale) for name in names])
+            [RunSpec(workload=name, scale=scale) for name in names],
+            jobs=jobs)
 
     def characterize_many(self, specs) -> list:
         """Characterize RunSpecs or ``(name, scale, stack)`` triples, in
@@ -220,10 +226,10 @@ class Harness:
         self.cache.put(spec.cache_key(), outcome)
 
     def _prepared(self, name: str, scale: int, seed: int = None, workload=None):
-        key = (name, scale)
+        seed = self.seed if seed is None else seed
+        key = (name, scale, seed)
         if key not in self._inputs:
             if workload is None:
                 workload = registry.create(name)
-            seed = self.seed if seed is None else seed
             self._inputs[key] = workload.prepare(scale, seed=seed)
         return self._inputs[key]

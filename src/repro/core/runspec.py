@@ -39,7 +39,9 @@ class RunSpec:
     stack: Optional[str] = None
     machine: Optional[MachineConfig] = None
     cluster: Optional[ClusterSpec] = None
-    seed: int = 0
+    #: None means "inherit the harness seed" (0 without a harness);
+    #: any int -- including 0 -- is an explicit per-run seed.
+    seed: Optional[int] = None
     jobs: int = 1
     trace: bool = False
 
@@ -53,8 +55,9 @@ class RunSpec:
         """Fill defaults and normalize the stack to its canonical name.
 
         With a harness, None machine/cluster take the harness' testbed
-        and ``seed``/``trace`` inherit harness settings (``trace`` is
-        sticky-True: either side may request it).
+        and None ``seed``/``trace`` inherit harness settings (``trace``
+        is sticky-True: either side may request it).  An explicit
+        ``seed`` -- including 0 -- always wins.
         """
         from repro.core import registry
 
@@ -63,8 +66,10 @@ class RunSpec:
         if harness is not None:
             machine = machine or harness.machine
             cluster = cluster or harness.cluster
-            seed = harness.seed if seed == 0 else seed
+            seed = harness.seed if seed is None else seed
             trace = trace or harness.trace
+        if seed is None:
+            seed = 0
         stack = registry.create(self.workload).check_stack(self.stack)
         return replace(self, stack=stack, machine=machine, cluster=cluster,
                        seed=seed, trace=trace)
@@ -72,13 +77,18 @@ class RunSpec:
     @property
     def is_resolved(self) -> bool:
         return (self.stack is not None and self.machine is not None
-                and self.cluster is not None)
+                and self.cluster is not None and self.seed is not None)
 
     def memo_key(self) -> tuple:
-        """The in-memory memo key (requires a resolved spec)."""
+        """The in-memory memo key (requires a resolved spec).
+
+        Mirrors :meth:`cache_key`: every input that shapes a result --
+        including ``seed`` and the cluster -- so runs differing only in
+        those never collide in the memo.
+        """
         self._require_resolved()
         return (self.workload, self.scale, self.stack, self.machine.name,
-                self.trace)
+                repr(self.cluster), self.seed, self.trace)
 
     def cache_key(self) -> tuple:
         """The persistent-cache key: every input that shapes a result.

@@ -46,16 +46,11 @@ def run_suite(names=None, scale: int = 1,
     """Characterize many workloads (all 19 by default) at one scale.
 
     ``jobs`` > 1 fans the missing points across worker processes for
-    this call only (the default harness is not permanently modified);
-    the results are bit-identical to a serial run.
+    this call only (the shared default harness is never mutated, so
+    concurrent callers cannot observe each other's worker counts); the
+    results are bit-identical to a serial run.
     """
-    saved = _DEFAULT.jobs
-    if jobs is not None:
-        _DEFAULT.jobs = max(1, int(jobs))
-    try:
-        return _DEFAULT.suite(names=names, scale=scale)
-    finally:
-        _DEFAULT.jobs = saved
+    return _DEFAULT.suite(names=names, scale=scale, jobs=jobs)
 
 
 def suite(names=None, scale: int = 1,
@@ -77,13 +72,8 @@ def sweep(name: str, scales=None, stack: Optional[str] = None,
     """
     from repro.core.workload import SCALE_FACTORS
 
-    saved = _DEFAULT.jobs
-    if jobs is not None:
-        _DEFAULT.jobs = max(1, int(jobs))
-    try:
-        return _DEFAULT.sweep(name, scales=scales or SCALE_FACTORS, stack=stack)
-    finally:
-        _DEFAULT.jobs = saved
+    return _DEFAULT.sweep(name, scales=scales or SCALE_FACTORS, stack=stack,
+                          jobs=jobs)
 
 
 def names() -> list[str]:

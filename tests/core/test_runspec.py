@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster.node import PAPER_CLUSTER
+from repro.cluster.node import PAPER_CLUSTER, SINGLE_NODE
 from repro.core.harness import Harness
 from repro.core.runspec import RunSpec
 from repro.uarch.hierarchy import XEON_E5310, XEON_E5645
@@ -56,6 +56,12 @@ class TestResolution:
         spec = RunSpec(workload="Sort", machine=XEON_E5645,
                        cluster=PAPER_CLUSTER).resolved()
         assert spec.is_resolved
+        assert spec.seed == 0
+
+    def test_explicit_seed_zero_beats_harness_seed(self):
+        harness = Harness(seed=7)
+        assert RunSpec(workload="Sort", seed=0).resolved(harness).seed == 0
+        assert RunSpec(workload="Sort").resolved(harness).seed == 7
 
     def test_unknown_stack_raises(self):
         with pytest.raises(Exception):
@@ -107,6 +113,18 @@ class TestKeys:
         assert a.cache_key() != b.cache_key()
         assert a.memo_key() != b.memo_key()
 
+    def test_seed_distinguishes_keys(self):
+        a = self._resolved(seed=1)
+        b = self._resolved(seed=2)
+        assert a.cache_key() != b.cache_key()
+        assert a.memo_key() != b.memo_key()
+
+    def test_cluster_distinguishes_keys(self):
+        a = self._resolved(cluster=PAPER_CLUSTER)
+        b = self._resolved(cluster=SINGLE_NODE)
+        assert a.cache_key() != b.cache_key()
+        assert a.memo_key() != b.memo_key()
+
 
 class TestHarnessIntegration:
     def test_run_accepts_spec_and_memoizes(self):
@@ -126,6 +144,14 @@ class TestHarnessIntegration:
         results = harness.run_many([("Grep", 1, None)])
         assert results[0].workload == "Grep"
         assert results[0] is harness.run(RunSpec(workload="Grep"))
+
+    def test_runs_differing_only_in_seed_do_not_collide(self):
+        harness = Harness()
+        a = harness.run(RunSpec(workload="Grep", seed=1))
+        b = harness.run(RunSpec(workload="Grep", seed=2))
+        assert a is not b
+        assert ("Grep", 1, 1) in harness._inputs
+        assert ("Grep", 1, 2) in harness._inputs
 
     def test_runspec_exported_from_core(self):
         import repro.core
