@@ -12,6 +12,7 @@ obtain" (Section 2).  This CLI is that surface:
     python -m repro roofline Sort K-means
     python -m repro trace Sort --scale 4 --format chrome --out sort.json
     python -m repro metrics Sort --no-cache
+    python -m repro chaos Grep --faults "task_crash:rate=0.3;node_kill:node=1"
     python -m repro export out/csv
 
 Every harness-backed command accepts ``--jobs N`` (0 = one worker per
@@ -155,6 +156,60 @@ def cmd_metrics(args) -> None:
     for name in args.workloads:
         harness.characterize(name, scale=args.scale)
     print(render_metrics(METRICS))
+
+
+def cmd_chaos(args) -> None:
+    from repro.core.runspec import RunSpec
+    from repro.faults import DEFAULT_CHAOS_SPEC, FaultPlan, diff_outputs
+
+    plan = FaultPlan.parse(
+        args.faults if args.faults is not None else DEFAULT_CHAOS_SPEC,
+        recovery=not args.no_recovery,
+        checkpoint_interval=args.checkpoint_interval,
+    )
+    harness = _harness(args, machine=_machine(args.machine))
+    base = dict(workload=args.workload, scale=args.scale, stack=args.stack,
+                seed=args.seed)
+    clean = harness.run(RunSpec(**base))
+    chaos = harness.run(RunSpec(**base, faults=plan))
+
+    events = chaos.fault_events or ()
+    counts = {"fault": {}, "recovery": {}, "lost": {}}
+    for event in events:
+        bucket = counts[event.phase]
+        bucket[event.kind] = bucket.get(event.kind, 0) + 1
+
+    def fmt(bucket: dict) -> str:
+        if not bucket:
+            return "-"
+        return ", ".join(f"{k} x{v}" for k, v in sorted(bucket.items()))
+
+    overhead = (chaos.modeled_seconds / clean.modeled_seconds - 1.0) * 100 \
+        if clean.modeled_seconds else 0.0
+    rows = [
+        ["fault plan", str(plan)],
+        ["faults injected", fmt(counts["fault"])],
+        ["recovery actions", fmt(counts["recovery"])],
+        ["work lost", fmt(counts["lost"])],
+        ["modeled time (clean)", f"{clean.modeled_seconds:.1f} s"],
+        ["modeled time (chaos)", f"{chaos.modeled_seconds:.1f} s"],
+        ["runtime overhead", f"{overhead:+.1f}%"],
+    ]
+    print(render_table(
+        ["Quantity", "Value"], rows,
+        title=f"chaos: {args.workload} @ {args.scale}x ({chaos.stack})"))
+
+    diffs = diff_outputs(clean, chaos)
+    if not diffs:
+        print("  output: IDENTICAL to the fault-free run")
+    else:
+        print("  output: DIVERGED from the fault-free run")
+        for diff in diffs:
+            print(f"    {diff}")
+        if plan.recovery:
+            # With recovery on, divergence violates the chaos layer's
+            # core invariant -- fail so CI catches it.
+            raise SystemExit(1)
 
 
 def cmd_table(args) -> None:
@@ -302,6 +357,28 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--machine", default="E5645")
     _add_exec_options(metrics)
     metrics.set_defaults(fn=cmd_metrics)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a workload under a deterministic fault plan and "
+             "compare against the fault-free run")
+    chaos.add_argument("workload")
+    chaos.add_argument("--faults", default=None, metavar="SPEC",
+                       help="fault spec like 'task_crash:rate=0.3;"
+                            "node_kill:node=1' (default: the full "
+                            "chaos battery)")
+    chaos.add_argument("--no-recovery", action="store_true",
+                       help="disable the recovery machinery (faults "
+                            "destroy work instead of being repaired)")
+    chaos.add_argument("--checkpoint-interval", type=int, default=2,
+                       metavar="N", help="BSP checkpoint every N "
+                                         "supersteps (default 2)")
+    chaos.add_argument("--scale", type=int, default=1)
+    chaos.add_argument("--stack", default=None)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--machine", default="E5645")
+    _add_exec_options(chaos)
+    chaos.set_defaults(fn=cmd_chaos)
 
     table = sub.add_parser("table", help="regenerate a paper table (1-7)")
     table.add_argument("number")

@@ -23,11 +23,14 @@ left on disk (cheap, and useful when switching branches) until
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import pickle
 import shutil
 import tempfile
 from typing import Optional
+
+logger = logging.getLogger(__name__)
 
 #: Environment variable overriding the cache root directory.
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
@@ -115,13 +118,19 @@ class DiskCache:
             self.misses += 1
             METRICS.counter("diskcache.misses").inc()
             return None
-        except Exception:
+        except Exception as exc:
+            # A corrupted or truncated entry (killed writer, disk error,
+            # unpicklable bytes) must never poison a run: log it, drop
+            # the file, and let the harness re-run the point.
+            logger.warning("discarding corrupt cache entry %s (%s: %s)",
+                           path, type(exc).__name__, exc)
             try:
                 os.remove(path)
             except OSError:
                 pass
             self.misses += 1
             METRICS.counter("diskcache.misses").inc()
+            METRICS.counter("diskcache.corrupt_entries").inc()
             return None
         self.hits += 1
         METRICS.counter("diskcache.hits").inc()

@@ -42,6 +42,11 @@ class CharacterizationResult:
     result: WorkloadResult
     #: Span tree of a traced run (None when tracing was off).
     trace: Optional[Span] = None
+    #: Ordered chaos flight record of a fault-injected run -- a tuple of
+    #: :class:`~repro.faults.inject.FaultEvent` (None when no fault plan
+    #: was attached).  Survives the memo, the disk cache, and process
+    #: pools, so event sequences can be compared across execution modes.
+    fault_events: Optional[tuple] = None
 
     @property
     def events(self):
@@ -187,8 +192,16 @@ class Harness:
         workload = registry.create(spec.workload)
         tracer = Tracer(spec.workload) if spec.trace else None
         ctx = PerfContext(spec.machine, seed=spec.seed, tracer=tracer)
+        injector = None
+        if spec.faults is not None:
+            from repro.faults.inject import FaultInjector
+
+            injector = FaultInjector(spec.faults, seed=spec.seed)
+            ctx.faults = injector
         with ctx.span(f"characterize:{spec.workload}", category="harness",
-                      scale=spec.scale, stack=spec.stack):
+                      scale=spec.scale, stack=spec.stack) as run_span:
+            if injector is not None:
+                run_span.set("faults", str(spec.faults))
             with ctx.span(f"prepare:{spec.workload}", category="datagen"):
                 prepared = self._prepared(spec.workload, spec.scale,
                                           seed=spec.seed, workload=workload)
@@ -205,6 +218,7 @@ class Harness:
             workload=spec.workload, scale=spec.scale, stack=spec.stack,
             machine=spec.machine.name, report=report, result=result,
             trace=trace,
+            fault_events=injector.event_log() if injector is not None else None,
         )
         if trace is not None:
             trace.set("modeled_seconds", outcome.modeled_seconds)

@@ -40,18 +40,38 @@ WORKLOAD_CLASSES = {
 }
 
 
+class UnknownWorkloadError(ValueError, KeyError):
+    """Raised for a workload name not in Table 4.
+
+    Subclasses both ValueError (it is a bad argument -- the message
+    lists every valid choice) and KeyError (the registry is a mapping,
+    and long-standing callers catch the lookup that way).
+    """
+
+    def __init__(self, name: str):
+        known = ", ".join(workload_names())
+        super().__init__(f"unknown workload {name!r}; known: {known}")
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0]
+
+
 def workload_names() -> list:
     """The 19 names in Table 6 order."""
     return sorted(WORKLOAD_CLASSES, key=lambda n: WORKLOAD_CLASSES[n].info.workload_id)
 
 
 def create(name: str, **kwargs) -> Workload:
-    """Instantiate a workload by its Table 4 name."""
+    """Instantiate a workload by its Table 4 name.
+
+    An unknown name fails fast with :class:`UnknownWorkloadError` --
+    callers building a :class:`~repro.core.runspec.RunSpec` get the
+    valid choices immediately instead of a deep registry KeyError.
+    """
     try:
         cls = WORKLOAD_CLASSES[name]
     except KeyError:
-        known = ", ".join(workload_names())
-        raise KeyError(f"unknown workload {name!r}; known: {known}") from None
+        raise UnknownWorkloadError(name) from None
     return cls(**kwargs)
 
 

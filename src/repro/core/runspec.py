@@ -44,12 +44,23 @@ class RunSpec:
     seed: Optional[int] = None
     jobs: int = 1
     trace: bool = False
+    #: Optional fault plan (see :mod:`repro.faults`): a FaultPlan or a
+    #: spec string like ``"task_crash:rate=0.3"``.  Frozen into the spec
+    #: and keyed into the memo and the disk cache, so chaos runs never
+    #: collide with fault-free ones.
+    faults: Optional["FaultPlan"] = None
 
     def __post_init__(self):
         if self.scale < 1:
             raise ValueError(f"scale must be >= 1, got {self.scale}")
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.faults is not None:
+            from repro.faults.plan import FaultPlan
+
+            if not isinstance(self.faults, FaultPlan):
+                object.__setattr__(self, "faults",
+                                   FaultPlan.parse(self.faults))
 
     def resolved(self, harness=None) -> "RunSpec":
         """Fill defaults and normalize the stack to its canonical name.
@@ -87,8 +98,11 @@ class RunSpec:
         those never collide in the memo.
         """
         self._require_resolved()
-        return (self.workload, self.scale, self.stack, self.machine.name,
-                repr(self.cluster), self.seed, self.trace)
+        key = (self.workload, self.scale, self.stack, self.machine.name,
+               repr(self.cluster), self.seed, self.trace)
+        if self.faults is not None:
+            key += (("faults", str(self.faults)),)
+        return key
 
     def cache_key(self) -> tuple:
         """The persistent-cache key: every input that shapes a result.
@@ -105,6 +119,8 @@ class RunSpec:
                repr(self.machine), repr(self.cluster), self.seed)
         if self.trace:
             key += ("trace",)
+        if self.faults is not None:
+            key += (("faults", str(self.faults)),)
         return key
 
     def _require_resolved(self) -> None:

@@ -1,0 +1,49 @@
+"""Deterministic fault injection and recovery (the chaos layer).
+
+The paper's stacks are defined as much by how they survive failure as by
+their happy paths: Hadoop re-executes failed tasks and speculatively
+duplicates stragglers, HDFS re-reads lost blocks from replicas, HBase
+replays its write-ahead log after a crash and checksums every block,
+BSP/MPI codes checkpoint at superstep boundaries, and online services
+retry with backoff, hedge slow requests, and shed load past saturation.
+This package makes those behaviors injectable, recoverable, and --
+crucially -- *deterministic*: every fault decision is a pure function of
+``(seed, kind, site, tick)``, so identical ``(seed, FaultPlan)`` pairs
+reproduce identical fault/recovery event sequences serially and under
+process-parallel execution.
+
+The invariant the chaos layer maintains: with recovery enabled, any
+fault plan produces bit-identical workload *output* to the fault-free
+run -- only counters and modeled timings differ.
+"""
+
+from repro.faults.clock import FaultClock
+from repro.faults.inject import (
+    FaultEvent,
+    FaultInjector,
+    NULL_FAULTS,
+    NullFaultInjector,
+    resolve_faults,
+)
+from repro.faults.plan import (
+    DEFAULT_CHAOS_SPEC,
+    FAULT_KINDS,
+    FaultPlan,
+    FaultRule,
+)
+from repro.faults.verify import diff_outputs, functional_fingerprint
+
+__all__ = [
+    "DEFAULT_CHAOS_SPEC",
+    "FAULT_KINDS",
+    "FaultClock",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "NULL_FAULTS",
+    "NullFaultInjector",
+    "diff_outputs",
+    "functional_fingerprint",
+    "resolve_faults",
+]

@@ -1,0 +1,43 @@
+"""FaultClock: logical per-site opportunity counters.
+
+Fault decisions must not depend on wall-clock time, thread scheduling,
+or shared RNG consumption -- any of those would break the guarantee that
+identical ``(seed, FaultPlan)`` pairs reproduce identical fault
+sequences serially and under ``jobs=N``.  The clock instead counts
+*opportunities*: every time an engine asks "does a fault strike here?"
+the site's counter advances by one, and that tick is the rule's time
+axis (``at=3`` means the third opportunity at that site).
+
+Sites are plain strings (``"task_crash@mr:sort:split"``); each run owns
+one clock, so ticks are comparable across serial and process-parallel
+executions of the same spec.
+"""
+
+from __future__ import annotations
+
+
+class FaultClock:
+    """Monotonic 1-based tick counters, one per injection site."""
+
+    def __init__(self):
+        self._ticks: dict = {}
+
+    def tick(self, site: str) -> int:
+        """Advance ``site``'s counter and return the new tick (1-based)."""
+        value = self._ticks.get(site, 0) + 1
+        self._ticks[site] = value
+        return value
+
+    def peek(self, site: str) -> int:
+        """The current tick of ``site`` without advancing (0 if unseen)."""
+        return self._ticks.get(site, 0)
+
+    def sites(self) -> list:
+        """Every site that has ticked, sorted for stable output."""
+        return sorted(self._ticks)
+
+    def __len__(self) -> int:
+        return len(self._ticks)
+
+    def __repr__(self) -> str:
+        return f"FaultClock({len(self._ticks)} sites)"

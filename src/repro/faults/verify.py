@@ -1,0 +1,90 @@
+"""Output-equivalence checking for chaos runs.
+
+The chaos layer's contract is that recovery-enabled fault plans change
+*how much work the run did* (counters, modeled seconds, instruction
+counts) but never *what the workload computed*.  This module extracts
+the functional fingerprint of a characterization result -- the workload
+answer with every timing-derived detail stripped -- and diffs two runs,
+which is what the ``repro chaos`` CLI and the integration tests assert.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Detail keys derived from instruction counts / modeled time / fault
+#: bookkeeping.  These legitimately differ under chaos (retries re-run
+#: work; recovery charges extra IO) and are excluded from the
+#: functional fingerprint.  Everything else -- record counts, matches,
+#: verification flags, store contents, query rows, request mixes -- must
+#: be bit-identical.
+TIMING_DETAIL_KEYS = frozenset({
+    "mips",
+    "latency_s",
+    "utilization",
+    "instructions_per_request",
+    "instructions_per_op",
+    "service_seconds",
+    "retries",
+    "hedges",
+    "failed_requests",
+    "shed_rps",
+})
+
+
+def _normalize(value):
+    """Make a detail value hashable/comparable across processes."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return tuple(value.tolist())
+    if isinstance(value, dict):
+        return {k: _normalize(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return tuple(_normalize(v) for v in value)
+    return value
+
+
+def functional_fingerprint(outcome) -> dict:
+    """The workload answer of one run, minus timing-derived details.
+
+    ``outcome`` is a :class:`~repro.core.harness.CharacterizationResult`;
+    the fingerprint of a chaos run with recovery must equal the
+    fault-free fingerprint bit for bit.
+    """
+    details = {
+        key: _normalize(value)
+        for key, value in outcome.result.details.items()
+        if key not in TIMING_DETAIL_KEYS
+    }
+    return {
+        "workload": outcome.workload,
+        "scale": outcome.scale,
+        "stack": outcome.stack,
+        "metric_name": outcome.result.metric_name,
+        "details": details,
+    }
+
+
+def diff_outputs(clean, chaos) -> list:
+    """Human-readable differences between two runs' functional output.
+
+    Returns an empty list when the runs are output-equivalent.
+    """
+    left = functional_fingerprint(clean)
+    right = functional_fingerprint(chaos)
+    diffs = []
+    for field in ("workload", "scale", "stack", "metric_name"):
+        if left[field] != right[field]:
+            diffs.append(f"{field}: {left[field]!r} != {right[field]!r}")
+    keys = sorted(set(left["details"]) | set(right["details"]))
+    for key in keys:
+        if key not in left["details"]:
+            diffs.append(f"details[{key!r}]: only in chaos run")
+        elif key not in right["details"]:
+            diffs.append(f"details[{key!r}]: only in clean run")
+        elif left["details"][key] != right["details"][key]:
+            diffs.append(
+                f"details[{key!r}]: {left['details'][key]!r} != "
+                f"{right['details'][key]!r}")
+    return diffs

@@ -17,6 +17,26 @@ from repro.datagen.formats import split_blocks
 
 DEFAULT_BLOCK_SIZE = 64 * 1024 * 1024
 
+#: HDFS default block replication factor: each block lives on up to
+#: three distinct nodes, so a single node loss never loses data.
+REPLICATION = 3
+
+
+def replica_nodes(index: int, num_nodes: int,
+                  replication: int = REPLICATION) -> tuple:
+    """The nodes holding block ``index``, primary first.
+
+    Round-robin placement: the primary is ``index % num_nodes`` and the
+    replicas the following nodes, HDFS-style rack-unaware layout.  The
+    chaos layer consults this to decide whether a killed node costs a
+    local read (re-read from a surviving replica) or the block entirely
+    (all replicas down).
+    """
+    if num_nodes < 1:
+        raise ValueError("num_nodes must be >= 1")
+    count = min(replication, num_nodes)
+    return tuple((index + k) % num_nodes for k in range(count))
+
 
 @dataclass
 class Split:
@@ -26,6 +46,10 @@ class Split:
     payload: object
     nbytes: int
     dataset: str
+
+    def replicas(self, num_nodes: int) -> tuple:
+        """The nodes holding this split's block, primary first."""
+        return replica_nodes(self.index, num_nodes)
 
 
 @dataclass

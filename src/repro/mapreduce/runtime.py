@@ -162,10 +162,19 @@ class MapReduceRuntime:
         overhead: FrameworkOverhead = HADOOP_OVERHEAD,
         task_failure_rate: float = 0.0,
         failure_seed: int = 0,
+        faults=None,
     ):
         """``task_failure_rate`` injects Hadoop-style task failures: each
         map attempt fails with that probability and is re-executed (work
-        and time are charged again), up to MAX_ATTEMPTS."""
+        and time are charged again), up to MAX_ATTEMPTS.
+
+        ``faults`` attaches a :class:`~repro.faults.inject.FaultInjector`
+        explicitly; by default the runtime picks up the injector the
+        harness attached to ``ctx`` (chaos runs), falling back to the
+        shared null injector.
+        """
+        from repro.faults.inject import resolve_faults
+
         if not 0.0 <= task_failure_rate < 1.0:
             raise ValueError("task_failure_rate must be in [0, 1)")
         self.cluster = cluster
@@ -174,6 +183,7 @@ class MapReduceRuntime:
         self.overhead = overhead
         self.task_failure_rate = task_failure_rate
         self._failure_rng = np.random.default_rng(failure_seed)
+        self.faults = resolve_faults(self.ctx, faults)
 
     def run(self, job: MapReduceJob, dfs_file: DfsFile, slicer=None) -> JobResult:
         from repro.obs.metrics import METRICS
@@ -206,6 +216,14 @@ class MapReduceRuntime:
         METRICS.counter("mr.map_output_records").inc(counters.get("map_output_records"))
         METRICS.counter("mr.shuffle_bytes").inc(counters.get("shuffle_bytes"))
         METRICS.counter("mr.task_retries").inc(counters.get("task_retries"))
+        if counters.get("speculative_tasks"):
+            METRICS.counter("mr.speculative_tasks").inc(
+                counters.get("speculative_tasks"))
+        if counters.get("replica_rereads"):
+            METRICS.counter("mr.replica_rereads").inc(
+                counters.get("replica_rereads"))
+        if counters.get("lost_splits"):
+            METRICS.counter("mr.lost_splits").inc(counters.get("lost_splits"))
         return JobResult(
             output_keys=out_keys,
             output_values=out_values,
@@ -232,15 +250,79 @@ class MapReduceRuntime:
         total_out_records = 0
         total_in_records = 0
 
+        faults = self.faults
+        extra_read_bytes = 0.0
+        remote_read_bytes = 0.0
+        straggle_seconds = 0.0
+
         for split in splits:
-            attempts = self._map_attempts(counters)
-            for _ in range(attempts):
-                # Failed attempts re-read and re-process the split.
-                ctx.seq_read(f"dfs:{dfs_file.name}", split.nbytes, elem=64)
+            site = f"mr:{job.name}:split{split.index}"
             records = job.record_count(split)
+
+            # Node loss: the split's primary replica may be on a dead
+            # node.  With recovery, HDFS re-reads from a surviving
+            # replica (one extra remote read); with every replica down,
+            # or without recovery, the split's records are lost.
+            if faults.enabled and faults.active_for("node_kill"):
+                replicas = split.replicas(self.cluster.num_nodes)
+                alive = [n for n in replicas if not faults.node_killed(n)]
+                primary_dead = faults.node_killed(replicas[0])
+                if primary_dead and (not faults.recovery or not alive):
+                    counters.add("lost_splits")
+                    faults.lost("split", site, records=records)
+                    continue
+                if primary_dead:
+                    with ctx.span("recovery:replica_reread",
+                                  category="faults", bytes=split.nbytes):
+                        ctx.seq_read(f"dfs:{dfs_file.name}", split.nbytes,
+                                     elem=64)
+                    counters.add("replica_rereads")
+                    extra_read_bytes += split.nbytes
+                    remote_read_bytes += split.nbytes
+                    faults.recovered("replica_reread", site,
+                                     node=alive[0], bytes=split.nbytes)
+
+            attempts = self._map_attempts(counters)
+            # Injected task crashes ride the same bounded-retry machinery
+            # as the legacy task_failure_rate knob; without recovery a
+            # single crash kills the task for good.
+            if faults.enabled and faults.active_for("task_crash"):
+                if faults.recovery:
+                    while (attempts < self.MAX_ATTEMPTS
+                           and faults.fires("task_crash", site) is not None):
+                        attempts += 1
+                        counters.add("task_retries")
+                        faults.recovered("task_retry", site, attempt=attempts)
+                elif faults.fires("task_crash", site) is not None:
+                    counters.add("lost_splits")
+                    faults.lost("split", site, records=records)
+                    continue
+
+            # Stragglers: with recovery the framework launches a backup
+            # (speculative) attempt and takes the first finisher -- the
+            # duplicated work is charged but the tail latency is hidden.
+            # Without recovery the slow attempt stretches the map phase.
+            work_units = attempts
+            if faults.enabled and faults.active_for("straggler"):
+                rule = faults.fires("straggler", site)
+                if rule is not None and faults.recovery:
+                    work_units += 1
+                    counters.add("speculative_tasks")
+                    faults.recovered("speculative", site)
+                elif rule is not None:
+                    disk_bw = self.cluster.node.disk.seq_bandwidth
+                    straggle_seconds += (split.nbytes / disk_bw
+                                         * (rule.factor - 1.0))
+                    counters.add("straggled_tasks")
+
+            for _ in range(work_units):
+                # Failed/duplicated attempts re-read and re-process.
+                ctx.seq_read(f"dfs:{dfs_file.name}", split.nbytes, elem=64)
+            extra_read_bytes += split.nbytes * (work_units - 1)
             total_in_records += records
-            self.overhead.charge(ctx, records * attempts, split.nbytes * attempts)
-            job.map_cost.charge(ctx, records * attempts, working_region)
+            self.overhead.charge(ctx, records * work_units,
+                                 split.nbytes * work_units)
+            job.map_cost.charge(ctx, records * work_units, working_region)
 
             keys, values = job.map_batch(split, ctx)
             if keys is None or len(keys) == 0:
@@ -282,14 +364,16 @@ class MapReduceRuntime:
         map_output_bytes = total_out_records * job.intermediate_record_bytes
         counters.add("map_output_bytes", map_output_bytes)
 
-        retries = counters.get("task_retries")
-        retry_factor = 1.0 + retries / max(1, len(splits))
         cost.add(PhaseCost(
             name="map",
             cpu_seconds=self._cpu_seconds(ctx.events.instructions - instr_before),
-            disk_read_bytes=dfs_file.nbytes * retry_factor,
+            disk_read_bytes=dfs_file.nbytes + extra_read_bytes,
             disk_write_bytes=map_output_bytes,
+            # Replica re-reads cross the network (non-local map tasks).
+            shuffle_bytes=remote_read_bytes,
             working_bytes=map_output_bytes,
+            # Unhedged stragglers stretch the phase tail.
+            fixed_seconds=straggle_seconds,
         ))
         return partitions, total_out_records
 

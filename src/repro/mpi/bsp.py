@@ -17,6 +17,7 @@ model.
 
 from __future__ import annotations
 
+import copy
 from collections import defaultdict
 from dataclasses import dataclass
 
@@ -99,6 +100,13 @@ class BspRuntime:
     #: mpirun launch + process wire-up, paper-scale seconds per run.
     JOB_FIXED_SECONDS = 7.0
 
+    #: Relaunch + rejoin overhead of a checkpoint restart (paper-scale).
+    RESTART_FIXED_SECONDS = 3.0
+
+    #: Bounded restarts: past this the run stops consulting rank_crash
+    #: rules (the BSP analogue of Hadoop's bounded task attempts).
+    MAX_RESTARTS = 8
+
     def __init__(
         self,
         num_ranks: int = None,
@@ -106,12 +114,16 @@ class BspRuntime:
         ctx=None,
         overhead: FrameworkOverhead = MPI_OVERHEAD,
         max_supersteps: int = 10_000,
+        faults=None,
     ):
+        from repro.faults.inject import resolve_faults
+
         self.cluster = cluster
         self.num_ranks = num_ranks or cluster.num_nodes
         self.ctx = context_or_null(ctx)
         self.overhead = overhead
         self.max_supersteps = max_supersteps
+        self.faults = resolve_faults(self.ctx, faults)
 
     def run(self, program: BspProgram) -> BspResult:
         ctx = self.ctx
@@ -137,9 +149,31 @@ class BspRuntime:
                     fixed_seconds=self.JOB_FIXED_SECONDS,
                 ))
 
+            faults = self.faults
+            # Checkpointing only arms when rank crashes can strike, so
+            # fault-free runs pay nothing.
+            check_crash = faults.enabled and faults.active_for("rank_crash")
+            check_drop = faults.enabled and faults.active_for("msg_drop")
+            ckpt_interval = (faults.plan.checkpoint_interval
+                             if faults.enabled else 1)
+            checkpoint = None
+            last_ckpt_step = -1
+            restarts = 0
+
             inboxes = [[] for _ in range(self.num_ranks)]
             step = 0
             while step < self.max_supersteps:
+                if (check_crash and step % ckpt_interval == 0
+                        and step != last_ckpt_step):
+                    ckpt_bytes = self._checkpoint_bytes(states, inboxes)
+                    with ctx.span(f"bsp:checkpoint:{step}", category="mpi",
+                                  bytes=ckpt_bytes):
+                        ctx.seq_write("bsp:checkpoint", ckpt_bytes)
+                    checkpoint = (step, copy.deepcopy(states),
+                                  copy.deepcopy(inboxes), ckpt_bytes)
+                    last_ckpt_step = step
+                    cost.add(PhaseCost(name=f"checkpoint:{step}",
+                                       disk_write_bytes=ckpt_bytes))
                 with ctx.span(f"bsp:superstep:{step}", category="mpi",
                               ranks=self.num_ranks) as sp:
                     instr_before = ctx.events.instructions
@@ -159,6 +193,24 @@ class BspRuntime:
                     for comm in comms:
                         step_comm += comm.bytes_sent
                         for dst, payloads in comm.drain().items():
+                            if check_drop and dst != comm.rank:
+                                site = (f"bsp:{program.name}:msg:"
+                                        f"{comm.rank}->{dst}")
+                                if faults.fires("msg_drop", site) is not None:
+                                    nbytes = sum(
+                                        np.asarray(p).nbytes
+                                        for p in payloads)
+                                    if faults.recovery:
+                                        # Retransmit: the bytes cross the
+                                        # wire twice, then arrive intact.
+                                        step_comm += nbytes
+                                        faults.recovered(
+                                            "retransmit", site,
+                                            bytes=nbytes)
+                                    else:
+                                        faults.lost("messages", site,
+                                                    count=len(payloads))
+                                        continue
                             next_inboxes[dst].extend(payloads)
                     if step_comm:
                         # Pack/unpack traffic plus per-message library
@@ -180,6 +232,51 @@ class BspRuntime:
                         working_bytes=step_comm,
                     ))
 
+                if check_crash and restarts < self.MAX_RESTARTS:
+                    crashed = [
+                        r for r in range(self.num_ranks)
+                        if faults.fires(
+                            "rank_crash",
+                            f"bsp:{program.name}:rank{r}") is not None
+                    ]
+                    if crashed and faults.recovery:
+                        # The superstep's results die with the rank; roll
+                        # every rank back to the checkpoint and replay
+                        # (deterministic supersteps recompute the exact
+                        # same states, so output is unchanged -- only the
+                        # duplicated work shows up in counters/time).
+                        restarts += 1
+                        ckpt_step, ckpt_states, ckpt_inboxes, ckpt_bytes = (
+                            checkpoint)
+                        states = copy.deepcopy(ckpt_states)
+                        inboxes = copy.deepcopy(ckpt_inboxes)
+                        with ctx.span("recovery:checkpoint_restart",
+                                      category="faults",
+                                      from_step=ckpt_step,
+                                      ranks=len(crashed)):
+                            ctx.seq_read("bsp:checkpoint", ckpt_bytes)
+                        cost.add(PhaseCost(
+                            name=f"recovery:restart:{restarts}",
+                            disk_read_bytes=ckpt_bytes,
+                            fixed_seconds=self.RESTART_FIXED_SECONDS,
+                        ))
+                        faults.recovered(
+                            "checkpoint_restart",
+                            f"bsp:{program.name}:step{step}",
+                            from_step=ckpt_step, ranks=len(crashed))
+                        step = ckpt_step
+                        continue
+                    if crashed:
+                        # No recovery: the crashed ranks restart from
+                        # scratch, losing all progress and their inboxes.
+                        for r in crashed:
+                            states[r] = program.init_rank(
+                                r, self.num_ranks, ctx)
+                            next_inboxes[r] = []
+                            faults.lost("rank_state",
+                                        f"bsp:{program.name}:rank{r}",
+                                        step=step)
+
                 inboxes = next_inboxes
                 step += 1
                 if not any_active and not any(next_inboxes):
@@ -187,6 +284,21 @@ class BspRuntime:
 
         return BspResult(states=states, supersteps=step, cost=cost,
                          bytes_communicated=total_comm)
+
+    @staticmethod
+    def _checkpoint_bytes(states, inboxes) -> int:
+        """Serialized size of a superstep-boundary checkpoint."""
+        total = 0
+        for state in states:
+            values = state.values() if isinstance(state, dict) else [state]
+            for value in values:
+                if isinstance(value, np.ndarray):
+                    total += value.nbytes
+        for inbox in inboxes:
+            for payload in inbox:
+                if isinstance(payload, np.ndarray):
+                    total += payload.nbytes
+        return max(total, 1024)
 
     def _cpu_seconds(self, instructions: float) -> float:
         machine = self.cluster.node.machine

@@ -51,6 +51,10 @@ class StoreStats:
     wal_bytes: float = 0.0
     block_read_bytes: float = 0.0
     compaction_bytes: float = 0.0
+    crashes: int = 0
+    wal_replays: int = 0
+    wal_replay_bytes: float = 0.0
+    checksum_failures: int = 0
 
 
 @dataclass(frozen=True)
@@ -78,14 +82,20 @@ class StoreConfig:
 class LsmStore:
     """A single-node LSM store with profiling hooks."""
 
-    def __init__(self, name: str = "store", ctx=None, config: StoreConfig = None):
+    def __init__(self, name: str = "store", ctx=None, config: StoreConfig = None,
+                 faults=None):
         self.name = name
-        self.ctx = context_or_null(ctx)
+        self._explicit_faults = faults
+        self.ctx = ctx
         self.config = config or StoreConfig()
         self.stats = StoreStats()
         self._memtable: dict = {}
         self._memtable_bytes = 0
         self._sstables: list = []   # newest last
+        #: Replay log of every write since the last flush, in order --
+        #: the store's actual WAL.  Crash recovery rebuilds the memtable
+        #: from it; flush truncates it (HBase log-roll semantics).
+        self._wal: list = []
         self._generation = 0
         self._pending_churn_ops = 0
         # Registry counters are resolved once; incrementing on the op
@@ -93,6 +103,24 @@ class LsmStore:
         self._ops_counter = METRICS.counter("nosql.ops")
         self._bloom_probe_counter = METRICS.counter("nosql.bloom_probes")
         self._bloom_skip_counter = METRICS.counter("nosql.bloom_skips")
+
+    @property
+    def ctx(self):
+        return self._ctx
+
+    @ctx.setter
+    def ctx(self, value):
+        """Attaching a profiling context also picks up its fault injector.
+
+        Workloads preload their stores without a context and attach one
+        for the measured phase (``store.ctx = ctx``), so resolving the
+        injector here means preloads stay fault-free while measured
+        operations see the chaos plan.
+        """
+        from repro.faults.inject import resolve_faults
+
+        self._ctx = context_or_null(value)
+        self.faults = resolve_faults(self._ctx, self._explicit_faults)
 
     # -- public API -----------------------------------------------------------
 
@@ -144,6 +172,29 @@ class LsmStore:
                     hot_fraction=self._block_cache_fraction(),
                     hot_prob=self.config.block_cache_hit,
                 )
+                if (self.faults.enabled
+                        and self.faults.fires("block_corrupt",
+                                              self._site("data"))
+                        is not None):
+                    self.stats.checksum_failures += 1
+                    if not self.faults.recovery:
+                        # Unverified read: skip the damaged run, possibly
+                        # surfacing a stale value or a miss.
+                        self.faults.lost("block", self._site("data"))
+                        continue
+                    # Checksum mismatch: discard the cached block and
+                    # re-read it from disk, verified.
+                    with ctx.span("recovery:checksum_reread",
+                                  category="faults", bytes=BLOCK_SIZE):
+                        ctx.skewed_read(
+                            self._region("data"), BLOCK_SIZE / 64, elem=64,
+                            hot_fraction=self._block_cache_fraction(),
+                            hot_prob=0.0,
+                        )
+                    self.stats.block_read_bytes += BLOCK_SIZE
+                    self.faults.recovered("checksum_reread",
+                                          self._site("data"),
+                                          bytes=BLOCK_SIZE)
                 value = sstable.get(key)
                 if value is not None:
                     return None if value.is_tombstone else value
@@ -197,6 +248,7 @@ class LsmStore:
             self._sstables.append(SSTable(items, generation=self._generation))
             self._memtable = {}
             self._memtable_bytes = 0
+            self._wal = []   # log roll: flushed records need no replay
         self.stats.flushes += 1
         METRICS.counter("nosql.flushes").inc()
         if len(self._sstables) >= self.config.compaction_trigger:
@@ -215,18 +267,60 @@ class LsmStore:
     def _write(self, key: bytes, value: Value) -> None:
         ctx = self.ctx
         with ctx.code(NOSQL_STACK):
+            if (self.faults.enabled
+                    and self.faults.fires("crash", self._site("wal"))
+                    is not None):
+                self._crash()
             self._charge_op(ctx)
             record_bytes = len(key) + max(value.size, 1)
             ctx.seq_write(self._region("wal"), record_bytes)
             self.stats.wal_bytes += record_bytes
-            ctx.rand_write(self._region("memtable"), 3)
-            old = self._memtable.get(key)
-            if old is not None:
-                self._memtable_bytes -= len(key) + max(old.size, 1)
-            self._memtable[key] = value
-            self._memtable_bytes += record_bytes
+            self._wal.append((key, value))
+            self._insert_memtable(key, value, charge=True)
             if self._memtable_bytes >= self.config.memtable_budget:
                 self.flush()
+
+    def _insert_memtable(self, key: bytes, value: Value,
+                         charge: bool) -> None:
+        if charge:
+            self.ctx.rand_write(self._region("memtable"), 3)
+        old = self._memtable.get(key)
+        if old is not None:
+            self._memtable_bytes -= len(key) + max(old.size, 1)
+        self._memtable[key] = value
+        self._memtable_bytes += len(key) + max(value.size, 1)
+
+    def _crash(self) -> None:
+        """The store process dies: RAM state is gone; SSTables survive.
+
+        With recovery the WAL (durable by definition: every ``_write``
+        appended before inserting) is replayed in order, rebuilding a
+        bit-identical memtable; without recovery the un-flushed records
+        are simply lost.
+        """
+        ctx = self.ctx
+        site = self._site("wal")
+        self.stats.crashes += 1
+        self._memtable = {}
+        self._memtable_bytes = 0
+        self._pending_churn_ops = 0
+        if not self.faults.recovery:
+            lost = len(self._wal)
+            self._wal = []
+            self.faults.lost("memtable_records", site, records=lost)
+            return
+        replay_bytes = sum(len(k) + max(v.size, 1) for k, v in self._wal)
+        with ctx.span("recovery:wal_replay", category="faults",
+                      records=len(self._wal), bytes=replay_bytes):
+            ctx.seq_read(self._region("wal"), replay_bytes)
+            ctx.rand_write(self._region("memtable"), 3 * len(self._wal))
+            ctx.int_ops(400.0 * len(self._wal))
+            for key, value in self._wal:
+                self._insert_memtable(key, value, charge=False)
+        self.stats.wal_replays += 1
+        self.stats.wal_replay_bytes += replay_bytes
+        self.faults.recovered("wal_replay", site,
+                              records=len(self._wal), bytes=replay_bytes)
 
     def _compact(self) -> None:
         """Size-tiered full merge of all runs into one."""
@@ -277,6 +371,10 @@ class LsmStore:
             self._pending_churn_ops = 0
         ctx.skewed_write("nosql:heap", config.per_op_stores,
                          hot_fraction=4e-6, hot_prob=0.995)
+
+    def _site(self, part: str) -> str:
+        """Injection-site name for one store component (no touch)."""
+        return f"nosql:{self.name}:{part}"
 
     def _region(self, part: str) -> str:
         name = f"nosql:{self.name}:{part}"

@@ -78,6 +78,14 @@ class ServingResult:
     requests_sampled: int
     instructions_per_request: float
     request_mix: dict = field(default_factory=dict)
+    #: Chaos accounting (all zero on fault-free runs): timed-out
+    #: requests retried with backoff, hedged slow requests, requests
+    #: failed outright (recovery off), and offered load shed past
+    #: saturation.
+    retries: int = 0
+    hedges: int = 0
+    failed_requests: int = 0
+    shed_rps: float = 0.0
 
     @property
     def throughput_rps(self) -> float:
@@ -95,32 +103,96 @@ class ServingResult:
 
 
 class ServingSimulation:
-    """Runs a server at an offered request rate."""
+    """Runs a server at an offered request rate.
+
+    Under a fault plan (see :mod:`repro.faults`) the simulation models
+    the full tail-tolerant request path: timed-out requests retried with
+    exponential backoff plus deterministic jitter, slow requests hedged
+    with a duplicate (first finisher wins, so the straggler's latency is
+    hidden at the cost of the duplicated work), and offered load past
+    saturation shed for graceful degradation.  Retries and hedges replay
+    the *same* request -- the RNG state is snapshotted per request -- so
+    the request mix is bit-identical to the fault-free run.
+    """
+
+    #: Bounded retries per timed-out request.
+    MAX_RETRIES = 3
+
+    #: Client-observed timeout before a retry fires.
+    TIMEOUT_SECONDS = 0.5
+
+    #: Base of the exponential retry backoff.
+    BACKOFF_SECONDS = 0.05
 
     def __init__(self, server: Server, cluster: ClusterSpec = SINGLE_NODE,
-                 ctx=None, sample_requests: int = 1500):
+                 ctx=None, sample_requests: int = 1500, faults=None):
+        from repro.faults.inject import resolve_faults
+
         if sample_requests <= 0:
             raise ValueError("sample_requests must be positive")
         self.server = server
         self.cluster = cluster
         self.ctx = context_or_null(ctx)
         self.sample_requests = sample_requests
+        self.faults = resolve_faults(self.ctx, faults)
 
     def run(self, offered_rps: float, seed: int = 0) -> ServingResult:
         from repro.obs.metrics import METRICS
 
         ctx = self.ctx
+        faults = self.faults
         rng = np.random.default_rng(seed)
         n_sample = self.sample_requests
+        site = f"serving:{self.server.name}"
+        check_timeout = faults.enabled and faults.active_for("timeout")
+        check_straggler = faults.enabled and faults.active_for("straggler")
+        snapshot = check_timeout or check_straggler
         mix: dict = {}
+        retries = hedges = failed = 0
+        penalty_seconds = 0.0
         churn_batch = 32
         instr_before = ctx.events.instructions
         with ctx.span(f"serving:sample:{self.server.name}", category="serving",
                       requests=n_sample, offered_rps=offered_rps):
             with ctx.code(self.server.code_profile):
                 for i in range(n_sample):
+                    state = rng.bit_generator.state if snapshot else None
                     kind = self.server.handle(rng, ctx)
-                    mix[kind] = mix.get(kind, 0) + 1
+                    ok = True
+                    if check_timeout:
+                        attempt = 0
+                        while (attempt < self.MAX_RETRIES
+                               and faults.fires("timeout", site) is not None):
+                            attempt += 1
+                            if not faults.recovery:
+                                ok = False
+                                failed += 1
+                                faults.lost("request", site, index=i)
+                                break
+                            # Exponential backoff with deterministic
+                            # jitter, then replay the same request.
+                            jitter = 1.0 + 0.5 * faults.unit(
+                                site, f"jitter:{i}:{attempt}")
+                            penalty_seconds += (
+                                self.TIMEOUT_SECONDS
+                                + self.BACKOFF_SECONDS
+                                * (2.0 ** (attempt - 1)) * jitter)
+                            self._replay(state, ctx)
+                            retries += 1
+                            faults.recovered("retry", site, attempt=attempt)
+                    if ok and check_straggler:
+                        rule = faults.fires("straggler", site)
+                        if rule is not None and faults.recovery:
+                            # Hedge: issue a duplicate, first answer
+                            # wins; the straggler's tail never shows.
+                            self._replay(state, ctx)
+                            hedges += 1
+                            faults.recovered("hedge", site)
+                        elif rule is not None:
+                            penalty_seconds += (self.TIMEOUT_SECONDS
+                                                * rule.factor)
+                    if ok:
+                        mix[kind] = mix.get(kind, 0) + 1
                     if (i + 1) % churn_batch == 0:
                         self.server.charge_request_churn(ctx, churn_batch)
                 self.server.charge_request_churn(ctx, n_sample % churn_batch)
@@ -136,6 +208,8 @@ class ServingSimulation:
                 offered_rps, service_seconds,
                 servers=self.cluster.node.cores * self.cluster.num_nodes,
             )
+            queueing, shed_rps = self._degrade(
+                queueing, service_seconds, penalty_seconds / n_sample, site)
             # The request lifecycle split the paper's latency SLOs care
             # about: time in queue vs. time in service (modeled seconds).
             sp.set("service_seconds", service_seconds)
@@ -145,6 +219,12 @@ class ServingSimulation:
         METRICS.histogram("serving.service_seconds").observe(service_seconds)
         METRICS.histogram("serving.queue_wait_seconds").observe(
             max(0.0, queueing.mean_latency - service_seconds))
+        if retries:
+            METRICS.counter("serving.retries").inc(retries)
+        if hedges:
+            METRICS.counter("serving.hedges").inc(hedges)
+        if failed:
+            METRICS.counter("serving.failed_requests").inc(failed)
         return ServingResult(
             server=self.server.name,
             offered_rps=offered_rps,
@@ -152,7 +232,48 @@ class ServingSimulation:
             requests_sampled=n_sample,
             instructions_per_request=per_request,
             request_mix=mix,
+            retries=retries,
+            hedges=hedges,
+            failed_requests=failed,
+            shed_rps=shed_rps,
         )
+
+    def _replay(self, state, ctx) -> None:
+        """Re-execute the request that consumed ``state``: a fresh
+        generator is rewound to the snapshot, so the shared stream
+        advances exactly once per request no matter how many retries or
+        hedges fire -- the request mix stays bit-identical."""
+        replay_rng = np.random.default_rng()
+        replay_rng.bit_generator.state = state
+        self.server.handle(replay_rng, ctx)
+
+    def _degrade(self, queueing: QueueingResult, service_seconds: float,
+                 extra_latency: float, site: str):
+        """Fold retry latency into the queueing result; past saturation
+        an armed ``overload`` rule sheds the excess load, bounding
+        latency at ``factor`` service times (graceful degradation)
+        instead of the unbounded overload blow-up."""
+        import dataclasses
+
+        faults = self.faults
+        shed_rps = 0.0
+        rule = faults.standing("overload", site) if faults.enabled else None
+        if rule is not None and queueing.saturated:
+            if faults.recovery:
+                shed_rps = max(0.0,
+                               queueing.offered_rps - queueing.throughput_rps)
+                queueing = dataclasses.replace(
+                    queueing,
+                    mean_latency=(service_seconds * (1.0 + rule.factor)
+                                  + extra_latency))
+                faults.recovered("load_shed", site,
+                                 shed_rps=round(shed_rps, 3))
+                return queueing, shed_rps
+            faults.lost("overload", site)
+        if extra_latency > 0.0:
+            queueing = dataclasses.replace(
+                queueing, mean_latency=queueing.mean_latency + extra_latency)
+        return queueing, shed_rps
 
     def sweep(self, rates, seed: int = 0) -> list:
         """Run the paper's load sweep (e.g. 100 x (1..32) req/s)."""

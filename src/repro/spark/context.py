@@ -35,6 +35,8 @@ class SparkContext:
         overhead: FrameworkOverhead = SPARK_OVERHEAD,
         default_parallelism: int = None,
     ):
+        from repro.faults.inject import resolve_faults
+
         self.cluster = cluster
         self.ctx = context_or_null(ctx)
         self.overhead = overhead
@@ -43,6 +45,7 @@ class SparkContext:
         self._disk_read = 0.0
         self._shuffle = 0.0
         self._cache_hits = 0.0
+        self.faults = resolve_faults(self.ctx, faults=None)
 
     # -- source RDDs -----------------------------------------------------------
 
@@ -81,6 +84,20 @@ class SparkContext:
         with self.ctx.span(f"spark:action:{rdd.name}", category="spark") as sp:
             with self.ctx.code(FRAMEWORK_STACK):
                 result = rdd._compute()
+                # Chaos: executors running this action may die; Spark
+                # recomputes the lost partitions from lineage (cached
+                # RDDs short-circuit, exactly as in the real scheduler).
+                faults = self.faults
+                if faults.enabled:
+                    site = f"spark:action:{rdd.name}"
+                    if faults.fires("task_crash", site) is not None:
+                        if faults.recovery:
+                            with self.ctx.span("recovery:lineage_recompute",
+                                               category="faults"):
+                                result = rdd._compute()
+                            faults.recovered("lineage_recompute", site)
+                        else:
+                            faults.lost("action_partitions", site)
             sp.set("disk_read_bytes", self._disk_read)
             sp.set("shuffle_bytes", self._shuffle)
         instructions = self.ctx.events.instructions - instr_before

@@ -28,6 +28,8 @@ class QueryStats:
     rows_out: int = 0
     input_bytes: float = 0.0
     tables: list = field(default_factory=list)
+    #: Scan fragments re-executed after an injected executor crash.
+    fragments_retried: int = 0
 
 
 @dataclass
@@ -59,12 +61,14 @@ class SqlEngine:
     #: Query planning/coordination overhead (paper-scale seconds).
     QUERY_FIXED_SECONDS = 1.5
 
-    def __init__(self, ctx=None, cluster=None):
+    def __init__(self, ctx=None, cluster=None, faults=None):
         from repro.cluster.node import PAPER_CLUSTER
+        from repro.faults.inject import resolve_faults
 
         self.ctx = context_or_null(ctx)
         self.cluster = cluster or PAPER_CLUSTER
         self._tables: dict = {}
+        self.faults = resolve_faults(self.ctx, faults)
 
     def register(self, name: str, table: Table, nbytes: int) -> None:
         """Register ``table`` under ``name`` with its real serialized size."""
@@ -176,6 +180,28 @@ class SqlEngine:
                 region=f"sql:table:{ref.name}",
             )
             sp.set("rows", registered.table.num_rows)
+        # Chaos: an executor running this scan fragment may crash; the
+        # coordinator re-dispatches the fragment (the scan work and IO
+        # are charged again) and the result is recomputed identically.
+        faults = self.faults
+        if faults.enabled:
+            site = f"sql:scan:{ref.name}"
+            if faults.fires("task_crash", site) is not None:
+                if faults.recovery:
+                    with self.ctx.span("recovery:fragment_retry",
+                                       category="faults"):
+                        scanned = operators.scan(
+                            registered.table, needed, registered.nbytes,
+                            self.ctx, region=f"sql:table:{ref.name}",
+                        )
+                    stats.fragments_retried += 1
+                    faults.recovered("fragment_retry", site,
+                                     rows=registered.table.num_rows)
+                else:
+                    # The in-process engine cannot actually destroy its
+                    # tables; an unrecovered fragment crash fails the
+                    # query in a real engine, recorded here as loss.
+                    faults.lost("scan_fragment", site)
         stats.rows_scanned += registered.table.num_rows
         stats.input_bytes += registered.nbytes * (
             len(needed) / max(1, len(registered.table.columns))

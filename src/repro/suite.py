@@ -16,6 +16,7 @@ in-memory memo and the disk cache.
 from __future__ import annotations
 
 import os
+import warnings
 from typing import Optional
 
 from repro.core.diskcache import DiskCache, ENV_NO_CACHE
@@ -60,6 +61,8 @@ def suite(names=None, scale: int = 1,
     The name shadowed the module itself (``from repro import suite;
     suite.suite(...)``), so new code should call :func:`run_suite`.
     """
+    warnings.warn("suite.suite() is deprecated; call suite.run_suite()",
+                  DeprecationWarning, stacklevel=2)
     return run_suite(names=names, scale=scale, jobs=jobs)
 
 

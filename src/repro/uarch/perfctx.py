@@ -55,6 +55,11 @@ class NullPerfContext:
     #: unless the harness attaches a recording one for a traced run.
     tracer = NULL_TRACER
 
+    #: Fault injector (see :mod:`repro.faults`); None unless the harness
+    #: attaches one for a chaos run.  Engines normalize it through
+    #: :func:`repro.faults.inject.resolve_faults`.
+    faults = None
+
     # -- span tracing --------------------------------------------------------
     def span(self, name: str, category: str = "", **attrs):
         """Open a trace span scoped to this context's event counters.

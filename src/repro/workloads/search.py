@@ -74,7 +74,8 @@ class NutchServerWorkload(Workload):
             details={"latency_s": outcome.mean_latency,
                      "utilization": outcome.queueing.utilization,
                      "mips": outcome.mips,
-                     "instructions_per_request": outcome.instructions_per_request},
+                     "instructions_per_request": outcome.instructions_per_request,
+                     "mix": outcome.request_mix},
         )
 
 

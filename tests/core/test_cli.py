@@ -11,7 +11,7 @@ class TestParser:
         actions = parser._subparsers._group_actions[0].choices
         assert set(actions) == {
             "list", "run", "sweep", "table", "figure", "roofline", "rank",
-            "export", "trace", "metrics",
+            "export", "trace", "metrics", "chaos",
         }
 
     def test_run_defaults(self):
@@ -81,3 +81,18 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "harness.runs" in out
         assert "mr.jobs" in out
+
+    def test_chaos_reports_equivalence(self, capsys):
+        assert main(["chaos", "Grep", "--no-cache",
+                     "--faults", "task_crash:rate=0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "IDENTICAL" in out
+        assert "task_crash" in out
+        assert "recovery actions" in out
+
+    def test_chaos_no_recovery_reports_divergence(self, capsys):
+        assert main(["chaos", "Grep", "--no-cache", "--no-recovery",
+                     "--faults", "task_crash:rate=0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "DIVERGED" in out
+        assert "work lost" in out

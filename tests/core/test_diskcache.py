@@ -40,6 +40,45 @@ class TestDiskCacheBasics:
         assert cache.misses == 1
         assert not os.path.exists(path)
 
+    def test_corrupt_entry_is_logged(self, cache, caplog):
+        import logging
+
+        path = cache.put(("k",), "value")
+        with open(path, "wb") as handle:
+            handle.write(b"garbage bytes, definitely not a pickle")
+        with caplog.at_level(logging.WARNING, logger="repro.core.diskcache"):
+            assert cache.get(("k",)) is None
+        assert any("corrupt cache entry" in record.message
+                   for record in caplog.records)
+
+    def test_truncated_entry_is_a_miss_and_removed(self, cache):
+        # A writer killed mid-write leaves a truncated pickle; the
+        # reader must discard it and re-run, never raise.
+        path = cache.put(("k",), {"big": list(range(1000))})
+        with open(path, "rb") as handle:
+            head = handle.read(20)
+        with open(path, "wb") as handle:
+            handle.write(head)
+        assert cache.get(("k",)) is None
+        assert not os.path.exists(path)
+        # The slot is reusable after the discard.
+        cache.put(("k",), "fresh")
+        assert cache.get(("k",)) == "fresh"
+
+    def test_harness_survives_corrupt_entry(self, cache):
+        # End to end: a corrupted cached result forces a re-run, and the
+        # re-run repopulates the cache.
+        harness = Harness(cache=cache)
+        first = harness.characterize("Grep", scale=1)
+        [path] = [os.path.join(cache.directory, name)
+                  for name in os.listdir(cache.directory)
+                  if name.endswith(".pkl")]
+        with open(path, "wb") as handle:
+            handle.write(b"\x80corrupted")
+        fresh = Harness(cache=cache)
+        again = fresh.characterize("Grep", scale=1)
+        assert again.result.metric_value == first.result.metric_value
+
     def test_clear_removes_everything(self, cache):
         cache.put(("k",), "v")
         cache.clear()

@@ -107,7 +107,8 @@ class TestSuiteFacade:
         from repro import suite
 
         assert "run_suite" in suite.suite.__doc__
-        results = suite.suite(names=["Grep"])
+        with pytest.warns(DeprecationWarning, match="run_suite"):
+            results = suite.suite(names=["Grep"])
         assert [r.workload for r in results] == ["Grep"]
 
     def test_facade_characterize_with_trace(self):

@@ -62,3 +62,29 @@ class TestRegistryCompleteness:
     def test_unknown_name(self):
         with pytest.raises(KeyError):
             registry.create("TeraSort")
+
+    def test_unknown_name_is_value_error_listing_choices(self):
+        # Callers validating user input catch ValueError; the message
+        # must name the bad workload and every valid choice.
+        with pytest.raises(ValueError) as excinfo:
+            registry.create("TeraSort")
+        message = str(excinfo.value)
+        assert "TeraSort" in message
+        for name in registry.workload_names():
+            assert name in message
+
+    def test_unknown_workload_fails_fast_through_harness(self):
+        from repro.core.harness import Harness
+        from repro.core.runspec import RunSpec
+
+        harness = Harness(cache=None)
+        with pytest.raises(ValueError, match="unknown workload"):
+            harness.run(RunSpec(workload="NopeCount"))
+
+    def test_unknown_stack_fails_fast_through_harness(self):
+        from repro.core.harness import Harness
+        from repro.core.runspec import RunSpec
+
+        harness = Harness(cache=None)
+        with pytest.raises(ValueError, match="supports stacks"):
+            harness.run(RunSpec(workload="Grep", stack="flink"))

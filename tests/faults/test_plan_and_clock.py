@@ -1,0 +1,116 @@
+"""FaultPlan / FaultRule parsing, validation, and the logical clock."""
+
+import pytest
+
+from repro.faults import DEFAULT_CHAOS_SPEC, FAULT_KINDS, FaultClock
+from repro.faults.plan import FaultPlan, FaultRule
+
+
+class TestFaultRule:
+    def test_parse_rate_rule(self):
+        rule = FaultRule.parse("task_crash:rate=0.3")
+        assert rule.kind == "task_crash"
+        assert rule.rate == pytest.approx(0.3)
+        assert rule.at == ()
+
+    def test_parse_at_list(self):
+        rule = FaultRule.parse("rank_crash:at=2|4|8")
+        assert rule.at == (2, 4, 8)
+
+    def test_parse_all_params(self):
+        rule = FaultRule.parse(
+            "straggler:rate=0.1:factor=6:scope=mr")
+        assert rule.factor == pytest.approx(6.0)
+        assert rule.scope == "mr"
+
+    def test_node_kill_needs_no_trigger(self):
+        rule = FaultRule.parse("node_kill:node=3")
+        assert rule.node == 3
+        assert rule.rate == 0.0
+
+    def test_unknown_kind_lists_valid_kinds(self):
+        with pytest.raises(ValueError) as excinfo:
+            FaultRule.parse("meteor_strike:rate=1.0")
+        message = str(excinfo.value)
+        for kind in FAULT_KINDS:
+            assert kind in message
+
+    def test_rate_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRule.parse("task_crash:rate=1.5")
+        with pytest.raises(ValueError):
+            FaultRule.parse("task_crash:rate=-0.1")
+
+    def test_triggerless_rule_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRule.parse("task_crash")
+
+    def test_zero_or_negative_tick_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRule.parse("rank_crash:at=0")
+
+    def test_str_round_trips(self):
+        specs = ["task_crash:rate=0.3", "rank_crash:at=2|4",
+                 "node_kill:node=1", "straggler:rate=0.1:factor=6",
+                 "overload:rate=1"]
+        for spec in specs:
+            rule = FaultRule.parse(spec)
+            assert FaultRule.parse(str(rule)) == rule
+
+
+class TestFaultPlan:
+    def test_parse_multi_rule_spec(self):
+        plan = FaultPlan.parse("task_crash:rate=0.3;node_kill:node=1")
+        assert len(plan.rules) == 2
+        assert set(plan.kinds()) == {"task_crash", "node_kill"}
+        assert plan.recovery
+
+    def test_default_chaos_spec_parses(self):
+        plan = FaultPlan.parse(DEFAULT_CHAOS_SPEC)
+        assert len(plan.rules) == len(DEFAULT_CHAOS_SPEC.split(";"))
+
+    def test_str_round_trips_including_flags(self):
+        for plan in (
+            FaultPlan.parse("task_crash:rate=0.3"),
+            FaultPlan.parse("crash:at=700", recovery=False),
+            FaultPlan.parse("rank_crash:at=2", checkpoint_interval=4),
+        ):
+            assert FaultPlan.parse(str(plan)) == plan
+
+    def test_no_recovery_suffix_in_str(self):
+        plan = FaultPlan.parse("crash:at=1", recovery=False)
+        assert "[no-recovery]" in str(plan)
+
+    def test_for_kind(self):
+        plan = FaultPlan.parse("task_crash:rate=0.3;task_crash:at=9")
+        assert len(plan.for_kind("task_crash")) == 2
+        assert plan.for_kind("msg_drop") == ()
+
+    def test_distinct_plans_have_distinct_strs(self):
+        # str(plan) keys the memo and disk cache; any semantic
+        # difference must show up in it.
+        variants = {
+            str(FaultPlan.parse("task_crash:rate=0.3")),
+            str(FaultPlan.parse("task_crash:rate=0.4")),
+            str(FaultPlan.parse("task_crash:rate=0.3", recovery=False)),
+            str(FaultPlan.parse("rank_crash:at=2", checkpoint_interval=3)),
+            str(FaultPlan.parse("rank_crash:at=2")),
+        }
+        assert len(variants) == 5
+
+
+class TestFaultClock:
+    def test_ticks_are_one_based_and_per_site(self):
+        clock = FaultClock()
+        assert clock.tick("a") == 1
+        assert clock.tick("a") == 2
+        assert clock.tick("b") == 1
+        assert clock.peek("a") == 2
+        assert clock.peek("missing") == 0
+
+    def test_sites_and_len(self):
+        clock = FaultClock()
+        clock.tick("x")
+        clock.tick("y")
+        assert set(clock.sites()) == {"x", "y"}
+        assert len(clock) == 2

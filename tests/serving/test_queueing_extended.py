@@ -44,3 +44,68 @@ class TestSweepShape:
         severe = mm_c(3.0 * capacity, service, servers)
         assert severe.mean_latency > mild.mean_latency
         assert mild.saturated and severe.saturated
+
+
+class TestEdgeCases:
+    def test_percentile_boundary_quantiles_rejected(self):
+        # The q-quantile is mean * -ln(1 - q): 0.0 would be a degenerate
+        # zero and 1.0 an unbounded tail, so both boundaries are errors.
+        result = mm_c(100, 0.003, 12)
+        for bad in (0.0, 1.0):
+            with pytest.raises(ValueError):
+                result.latency_percentile(bad)
+
+    def test_percentile_outside_unit_interval_rejected(self):
+        result = mm_c(100, 0.003, 12)
+        for bad in (-0.01, 1.01, 2.0, -5.0):
+            with pytest.raises(ValueError):
+                result.latency_percentile(bad)
+
+    def test_percentile_monotone_across_range(self):
+        result = mm_c(100, 0.003, 12)
+        quantiles = [0.001, 0.1, 0.5, 0.9, 0.99, 0.999]
+        values = [result.latency_percentile(q) for q in quantiles]
+        assert values == sorted(values)
+
+    def test_exactly_saturated_queue(self):
+        service, servers = 0.004, 12
+        capacity = servers / service
+        result = mm_c(capacity, service, servers)
+        assert result.saturated
+        assert result.throughput_rps == pytest.approx(capacity)
+        assert result.mean_latency > service
+
+    def test_overloaded_queue_pins_throughput(self):
+        service, servers = 0.004, 4
+        capacity = servers / service
+        result = mm_c(10 * capacity, service, servers)
+        assert result.saturated
+        assert result.utilization == pytest.approx(10.0)
+        assert result.throughput_rps == pytest.approx(capacity)
+
+    def test_single_server_closed_form(self):
+        # At c=1 the Sakasegawa exponent sqrt(2*(c+1)) is exactly 2, so
+        # the modeled wait is s*rho^2/(1-rho).
+        service, rate = 0.01, 50.0
+        rho = rate * service
+        result = mm_c(rate, service, servers=1)
+        assert result.mean_latency == pytest.approx(
+            service + service * rho ** 2 / (1.0 - rho))
+
+    def test_servers_scale_consistency(self):
+        # N servers at per-server load rho behave no worse than one
+        # server at the same rho (pooling helps), and both stay stable.
+        service, rho = 0.01, 0.6
+        one = mm_c(rho / service, service, servers=1)
+        many = mm_c(8 * rho / service, service, servers=8)
+        assert one.utilization == pytest.approx(many.utilization)
+        assert many.mean_latency <= one.mean_latency
+        assert many.mean_latency >= service
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            mm_c(-1.0, 0.01, 1)
+        with pytest.raises(ValueError):
+            mm_c(100.0, 0.0, 1)
+        with pytest.raises(ValueError):
+            mm_c(100.0, 0.01, 0)
