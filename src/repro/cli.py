@@ -13,11 +13,13 @@ obtain" (Section 2).  This CLI is that surface:
     python -m repro trace Sort --scale 4 --format chrome --out sort.json
     python -m repro metrics Sort --no-cache
     python -m repro chaos Grep --faults "task_crash:rate=0.3;node_kill:node=1"
+    python -m repro artifacts ls
     python -m repro export out/csv
 
 Every harness-backed command accepts ``--jobs N`` (0 = one worker per
-CPU) to fan independent characterization points across processes, and
-``--no-cache`` to bypass the persistent on-disk result cache.
+CPU) to fan independent characterization points across processes,
+``--no-cache`` to bypass the persistent on-disk result cache, and
+``--no-artifacts`` to bypass the shared input artifact store.
 """
 
 from __future__ import annotations
@@ -47,17 +49,22 @@ def _add_exec_options(sub) -> None:
                           "(0 = one per CPU; default 1 = serial)")
     sub.add_argument("--no-cache", action="store_true",
                      help="do not read or write the persistent result cache")
+    sub.add_argument("--no-artifacts", action="store_true",
+                     help="do not read or write the shared input "
+                          "artifact store (regenerate all inputs)")
 
 
 def _harness(args, machine=None) -> Harness:
-    """Build a harness honoring ``--jobs`` / ``--no-cache``."""
+    """Build a harness honoring ``--jobs``/``--no-cache``/``--no-artifacts``."""
     from repro.core.parallel import default_jobs
 
     jobs = getattr(args, "jobs", 1)
     if jobs == 0:
         jobs = default_jobs()
     cache = not getattr(args, "no_cache", False)
-    return Harness(machine=machine or XEON_E5645, jobs=jobs, cache=cache)
+    artifacts = False if getattr(args, "no_artifacts", False) else None
+    return Harness(machine=machine or XEON_E5645, jobs=jobs, cache=cache,
+                   artifacts=artifacts)
 
 
 def cmd_list(args) -> None:
@@ -156,6 +163,36 @@ def cmd_metrics(args) -> None:
     for name in args.workloads:
         harness.characterize(name, scale=args.scale)
     print(render_metrics(METRICS))
+
+
+def cmd_artifacts(args) -> None:
+    from repro.core import artifacts as art
+
+    store = art.ArtifactStore(root=args.dir) if args.dir else art.ArtifactStore()
+    if args.action == "path":
+        print(store.directory)
+        return
+    if args.action == "gc":
+        cap = (int(args.cap_mb * 1024 * 1024) if args.cap_mb is not None
+               else store.cap_bytes)
+        removed = store.gc(cap_bytes=cap)
+        for entry in removed:
+            print(f"evicted {entry.key} ({entry.nbytes / 1024 / 1024:.1f} MB)")
+        print(f"{len(removed)} evicted; "
+              f"{store.total_bytes() / 1024 / 1024:.1f} MB "
+              f"of {cap / 1024 / 1024:.0f} MB in use")
+        return
+    # ls (default): one row per stored artifact, stale fingerprints marked.
+    entries = store.entries()
+    rows = [[entry.key, entry.codec,
+             f"{entry.nbytes / 1024 / 1024:.2f}",
+             "stale" if entry.stale else "live"]
+            for entry in entries]
+    total = sum(entry.nbytes for entry in entries)
+    print(render_table(["Key", "Codec", "MB", "Fingerprint"], rows,
+                       title=f"artifacts at {store.root}"))
+    print(f"  total: {total / 1024 / 1024:.1f} MB "
+          f"(cap {store.cap_bytes / 1024 / 1024:.0f} MB)")
 
 
 def cmd_chaos(args) -> None:
@@ -357,6 +394,22 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--machine", default="E5645")
     _add_exec_options(metrics)
     metrics.set_defaults(fn=cmd_metrics)
+
+    artifacts = sub.add_parser(
+        "artifacts",
+        help="inspect the shared input artifact store "
+             "(memory-mapped BDGS inputs)")
+    artifacts.add_argument("action", nargs="?", default="ls",
+                           choices=["ls", "gc", "path"],
+                           help="ls = list artifacts; gc = evict LRU "
+                                "entries over the cap; path = print the "
+                                "live fingerprint directory")
+    artifacts.add_argument("--dir", default=None, metavar="DIR",
+                           help="artifact root (default: "
+                                "$REPRO_ARTIFACT_DIR or the cache root)")
+    artifacts.add_argument("--cap-mb", type=float, default=None,
+                           help="gc: evict down to this many megabytes")
+    artifacts.set_defaults(fn=cmd_artifacts)
 
     chaos = sub.add_parser(
         "chaos",

@@ -93,12 +93,24 @@ class Harness:
     survive across processes; it is invalidated automatically when any
     ``repro`` source file changes.  ``trace`` turns on span tracing for
     every run this harness executes (individual runs can also request it
-    via ``RunSpec(trace=True)``).
+    via ``RunSpec(trace=True)``).  ``artifacts`` controls the shared
+    input plane (:mod:`repro.core.artifacts`): the default ``None``
+    attaches the machine-wide store (disable with ``REPRO_NO_ARTIFACTS``),
+    ``False`` disables it, and a path / store instance pins a specific
+    root.  Prepared inputs then spill once to memory-mapped ``.npy``
+    artifacts and every later preparation -- in this process or any
+    worker -- re-opens the same pages zero-copy.
     """
+
+    #: In-memory prepared-input cache bound when an artifact store is
+    #: attached (misses re-open the mmap; pages stay in the OS cache).
+    INPUT_CACHE_SIZE = 4
 
     def __init__(self, machine: MachineConfig = XEON_E5645,
                  cluster: ClusterSpec = PAPER_CLUSTER, seed: int = 0,
-                 jobs: int = 1, cache=None, trace: bool = False):
+                 jobs: int = 1, cache=None, trace: bool = False,
+                 artifacts=None):
+        from repro.core.artifacts import resolve_store
         from repro.core.diskcache import resolve_cache
 
         self.machine = machine
@@ -107,6 +119,7 @@ class Harness:
         self.jobs = max(1, int(jobs or 1))
         self.cache = resolve_cache(cache)
         self.trace = bool(trace)
+        self.artifacts = resolve_store(artifacts)
         self._cache: dict = {}
         self._inputs: dict = {}
 
@@ -204,7 +217,8 @@ class Harness:
                 run_span.set("faults", str(spec.faults))
             with ctx.span(f"prepare:{spec.workload}", category="datagen"):
                 prepared = self._prepared(spec.workload, spec.scale,
-                                          seed=spec.seed, workload=workload)
+                                          seed=spec.seed, workload=workload,
+                                          ctx=ctx)
             with ctx.span(f"run:{spec.workload}", category="harness"):
                 result = workload.run(prepared, ctx=ctx, cluster=spec.cluster,
                                       stack=spec.stack)
@@ -239,11 +253,26 @@ class Harness:
             return
         self.cache.put(spec.cache_key(), outcome)
 
-    def _prepared(self, name: str, scale: int, seed: int = None, workload=None):
+    def _prepared(self, name: str, scale: int, seed: int = None, workload=None,
+                  ctx=None):
+        from repro.core import artifacts
+
         seed = self.seed if seed is None else seed
         key = (name, scale, seed)
-        if key not in self._inputs:
-            if workload is None:
-                workload = registry.create(name)
-            self._inputs[key] = workload.prepare(scale, seed=seed)
-        return self._inputs[key]
+        if key in self._inputs:
+            # LRU touch: move the hit to the back of insertion order.
+            prepared = self._inputs.pop(key)
+            self._inputs[key] = prepared
+            return prepared
+        if workload is None:
+            workload = registry.create(name)
+        with artifacts.activated(self.artifacts, ctx):
+            prepared = workload.prepare(scale, seed=seed)
+        self._inputs[key] = prepared
+        # With a store attached the memo is just a hot-set accelerator --
+        # evictions re-open the mmap'd artifact, so bound it; without a
+        # store it is the only thing preventing regeneration, keep it all.
+        if self.artifacts is not None:
+            while len(self._inputs) > self.INPUT_CACHE_SIZE:
+                self._inputs.pop(next(iter(self._inputs)))
+        return prepared

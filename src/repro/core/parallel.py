@@ -39,9 +39,18 @@ def default_jobs() -> int:
 _WORKER_HARNESS = None
 
 
-def _init_worker(machine, cluster, seed) -> None:
+def _init_worker(machine, cluster, seed, artifact_root=False) -> None:
+    """Build the per-worker harness.
+
+    ``artifact_root`` is the parent's artifact store root (or False when
+    the parent runs without a store): workers open the *same* store, so
+    a spec never implies per-worker datagen -- inputs the parent (or any
+    sibling) already spilled are re-opened memory-mapped, sharing page
+    cache across the whole pool.
+    """
     global _WORKER_HARNESS
-    _WORKER_HARNESS = Harness(machine=machine, cluster=cluster, seed=seed)
+    _WORKER_HARNESS = Harness(machine=machine, cluster=cluster, seed=seed,
+                              artifacts=artifact_root)
 
 
 def _run_point(spec: RunSpec):
@@ -86,7 +95,8 @@ def parallel_characterize(harness, specs, jobs: int = None) -> None:
         max_workers=workers,
         mp_context=_mp_context(),
         initializer=_init_worker,
-        initargs=(harness.machine, harness.cluster, harness.seed),
+        initargs=(harness.machine, harness.cluster, harness.seed,
+                  harness.artifacts.root if harness.artifacts else False),
     ) as pool:
         outcomes = list(pool.map(_run_point, [spec for _, spec in missing]))
     for (key, spec), outcome in zip(missing, outcomes):

@@ -21,10 +21,13 @@ from repro.datagen.text import TextCorpus
 
 def text_lines(corpus: TextCorpus, limit: int = None):
     """Yield documents as whitespace-joined word strings."""
-    vocab = corpus.vocabulary
     count = corpus.num_docs if limit is None else min(limit, corpus.num_docs)
+    # One vectorized id->word pass over every requested document.
+    end = int(corpus.doc_offsets[count])
+    words = corpus.vocabulary.words(corpus.tokens[:end])
+    offsets = corpus.doc_offsets
     for index in range(count):
-        yield " ".join(vocab.words(corpus.doc(index)))
+        yield " ".join(words[offsets[index]:offsets[index + 1]])
 
 
 def edge_list_lines(graph: Graph, limit: int = None):
@@ -38,9 +41,21 @@ def csv_lines(table: Table, limit: int = None):
     """Yield the table as a header line plus comma-separated rows."""
     yield ",".join(table.column_names)
     count = table.num_rows if limit is None else min(limit, table.num_rows)
-    columns = [table.column(name) for name in table.column_names]
-    for row in range(count):
-        yield ",".join(_format_field(col[row]) for col in columns)
+    if not count or not table.column_names:
+        return
+    # Render each column to strings in one vectorized pass, then fold
+    # the columns together (same output as per-row _format_field joins).
+    rendered = []
+    for name in table.column_names:
+        column = np.asarray(table.column(name)[:count])
+        if np.issubdtype(column.dtype, np.floating):
+            rendered.append(np.char.mod("%.2f", column))
+        else:
+            rendered.append(column.astype(str))
+    lines = rendered[0]
+    for column in rendered[1:]:
+        lines = np.char.add(np.char.add(lines, ","), column)
+    yield from lines.tolist()
 
 
 def _format_field(value) -> str:
@@ -75,5 +90,7 @@ def split_blocks(total_bytes: int, block_size: int = 64 * 1024 * 1024) -> list:
 
 def kv_records(value_sizes: np.ndarray, key_prefix: str = "row"):
     """Yield (key, value_size) pairs for record stores (Cloud OLTP input)."""
-    for index, size in enumerate(np.asarray(value_sizes).tolist()):
-        yield f"{key_prefix}:{index:012d}", int(size)
+    sizes = np.asarray(value_sizes)
+    keys = np.char.mod(key_prefix + ":%012d", np.arange(len(sizes)))
+    for key, size in zip(keys.tolist(), sizes.tolist()):
+        yield key, int(size)

@@ -79,6 +79,18 @@ class Graph:
         """Serialized edge-list size (two ~10-byte decimal fields + sep)."""
         return self.num_edges * 21
 
+    def to_arrays(self) -> "tuple[dict, dict]":
+        """Artifact codec (see :mod:`repro.core.artifacts`)."""
+        return ({"num_nodes": int(self.num_nodes),
+                 "directed": bool(self.directed)},
+                {"edges": self.edges})
+
+    @classmethod
+    def from_arrays(cls, meta: dict, arrays: dict) -> "Graph":
+        """Rebuild from codec output; ``edges`` may be a read-only memmap."""
+        return cls(edges=arrays["edges"], num_nodes=int(meta["num_nodes"]),
+                   directed=bool(meta["directed"]))
+
 
 def preferential_attachment(
     num_nodes: int,
@@ -91,29 +103,77 @@ def preferential_attachment(
     Seeds are intentionally produced by a different mechanism than the
     Kronecker model BDGS fits, so the estimate-then-generate pipeline is
     exercised honestly.
+
+    Vectorized: nodes attach in chunks against an endpoint pool frozen
+    at each chunk boundary (sampling uniformly from the pool is
+    degree-proportional), so the per-node Python loop and per-draw set
+    bookkeeping collapse into batched fanout draws with rejection-based
+    dedup.  Within a chunk the pool does not see the chunk's own
+    additions -- the standard batched-BA approximation; the degree
+    distribution keeps its heavy tail and every node still contributes
+    exactly ``min(edges_per_node, node)`` edges.
     """
     if num_nodes < 2 or edges_per_node < 1:
         raise ValueError("need at least 2 nodes and 1 edge per node")
-    sources = []
-    targets = []
-    # Endpoint pool: sampling uniformly from it is degree-proportional.
-    pool = [0]
-    for node in range(1, num_nodes):
-        fanout = min(edges_per_node, node)
-        chosen = set()
+    k = int(edges_per_node)
+    # Total pool length: node 0, plus per later node its targets + itself.
+    total_edges = sum(min(k, node) for node in range(1, num_nodes))
+    pool = np.empty(1 + (num_nodes - 1) + total_edges, dtype=np.int64)
+    pool[0] = 0
+    pool_len = 1
+    sources = np.empty(total_edges, dtype=np.int64)
+    targets = np.empty(total_edges, dtype=np.int64)
+    edge_at = 0
+
+    def _append(node_ids: np.ndarray, node_targets: np.ndarray) -> None:
+        nonlocal pool_len, edge_at
+        count = len(node_ids)
+        sources[edge_at:edge_at + count] = node_ids
+        targets[edge_at:edge_at + count] = node_targets
+        pool[pool_len:pool_len + count] = node_targets
+        pool_len += count
+        edge_at += count
+
+    # Warm-up: nodes 1..k attach to *all* earlier nodes one at a time
+    # (their fanout is capped by the pool anyway, and dedup against a
+    # nearly full pool is where rejection sampling degenerates).
+    warmup_end = min(num_nodes, k + 1)
+    for node in range(1, warmup_end):
+        fanout = min(k, node)
+        chosen: set = set()
         while len(chosen) < fanout:
-            pick = pool[int(rng.integers(0, len(pool)))]
+            pick = int(pool[int(rng.integers(0, pool_len))])
             if pick != node:
                 chosen.add(pick)
-        for dst in chosen:
-            sources.append(node)
-            targets.append(dst)
-            pool.append(dst)
-        pool.append(node)
-    edges = np.column_stack([
-        np.asarray(sources, dtype=np.int64),
-        np.asarray(targets, dtype=np.int64),
-    ])
+        picks = np.fromiter(chosen, dtype=np.int64, count=fanout)
+        _append(np.full(fanout, node, dtype=np.int64), picks)
+        pool[pool_len] = node
+        pool_len += 1
+
+    # Batched phase: every remaining node draws exactly k targets.
+    chunk = 256
+    for lo in range(warmup_end, num_nodes, chunk):
+        hi = min(lo + chunk, num_nodes)
+        nodes = np.arange(lo, hi, dtype=np.int64)
+        rows = len(nodes)
+        frozen = pool[:pool_len]
+        picks = np.empty((rows, k), dtype=np.int64)
+        for slot in range(k):
+            # Draw slot ``slot`` for every row; redraw rows whose pick
+            # is a self-loop or repeats an earlier slot of the same row.
+            pending = np.arange(rows)
+            while pending.size:
+                draw = frozen[rng.integers(0, pool_len, size=pending.size)]
+                picks[pending, slot] = draw
+                bad = draw == nodes[pending]
+                if slot:
+                    bad |= (picks[pending, :slot] == draw[:, None]).any(axis=1)
+                pending = pending[bad]
+        _append(np.repeat(nodes, k), picks.reshape(-1))
+        pool[pool_len:pool_len + rows] = nodes
+        pool_len += rows
+
+    edges = np.column_stack([sources, targets])
     return Graph(edges=edges, num_nodes=num_nodes, directed=directed)
 
 

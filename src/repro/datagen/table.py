@@ -68,6 +68,17 @@ class Table:
     def schema(self) -> list:
         return [(name, str(col.dtype)) for name, col in self.columns.items()]
 
+    def to_arrays(self) -> "tuple[dict, dict]":
+        """Artifact codec (see :mod:`repro.core.artifacts`)."""
+        return ({"name": self.name, "order": list(self.columns)},
+                dict(self.columns))
+
+    @classmethod
+    def from_arrays(cls, meta: dict, arrays: dict) -> "Table":
+        """Rebuild from codec output; columns may be read-only memmaps."""
+        return cls(name=meta["name"],
+                   columns={name: arrays[name] for name in meta["order"]})
+
 
 @dataclass(frozen=True)
 class TableModel:
@@ -126,6 +137,27 @@ class ECommerceData:
     @property
     def nbytes(self) -> int:
         return self.orders.nbytes + self.items.nbytes
+
+    def to_arrays(self) -> "tuple[dict, dict]":
+        """Artifact codec: both tables, columns prefixed per table."""
+        orders_meta, orders_cols = self.orders.to_arrays()
+        items_meta, items_cols = self.items.to_arrays()
+        arrays = {f"orders.{name}": col for name, col in orders_cols.items()}
+        arrays.update({f"items.{name}": col for name, col in items_cols.items()})
+        return {"orders": orders_meta, "items": items_meta}, arrays
+
+    @classmethod
+    def from_arrays(cls, meta: dict, arrays: dict) -> "ECommerceData":
+        return cls(
+            orders=Table.from_arrays(
+                meta["orders"],
+                {name: arrays[f"orders.{name}"]
+                 for name in meta["orders"]["order"]}),
+            items=Table.from_arrays(
+                meta["items"],
+                {name: arrays[f"items.{name}"]
+                 for name in meta["items"]["order"]}),
+        )
 
 
 @dataclass(frozen=True)
@@ -234,6 +266,27 @@ class ReviewSet:
     def nbytes(self) -> int:
         return self.corpus.nbytes + self.num_reviews * 24
 
+    def to_arrays(self) -> "tuple[dict, dict]":
+        """Artifact codec (see :mod:`repro.core.artifacts`)."""
+        corpus_meta, corpus_arrays = self.corpus.to_arrays()
+        arrays = {"user_ids": self.user_ids, "movie_ids": self.movie_ids,
+                  "scores": self.scores}
+        arrays.update({f"corpus.{k}": v for k, v in corpus_arrays.items()})
+        return ({"num_users": int(self.num_users),
+                 "num_movies": int(self.num_movies),
+                 "corpus": corpus_meta}, arrays)
+
+    @classmethod
+    def from_arrays(cls, meta: dict, arrays: dict) -> "ReviewSet":
+        corpus = TextCorpus.from_arrays(
+            meta["corpus"],
+            {"tokens": arrays["corpus.tokens"],
+             "doc_offsets": arrays["corpus.doc_offsets"]})
+        return cls(user_ids=arrays["user_ids"], movie_ids=arrays["movie_ids"],
+                   scores=arrays["scores"], corpus=corpus,
+                   num_users=int(meta["num_users"]),
+                   num_movies=int(meta["num_movies"]))
+
 
 @dataclass(frozen=True)
 class ReviewModel:
@@ -258,13 +311,15 @@ class ReviewModel:
             raise ValueError("cannot estimate from an empty review set")
         labels = reviews.sentiment_labels()
         vocab = reviews.corpus.vocab_size
+        # One label per *token* (repeat each doc's label over its length)
+        # turns the per-document bincount loop into three masked
+        # bincounts over the flat token array.
+        token_labels = np.repeat(labels, reviews.corpus.doc_lengths())
         class_probs = {}
         for label in (-1, 0, 1):
-            mask = labels == label
-            counts = np.ones(vocab, dtype=np.float64)  # Laplace smoothing
-            for doc_index in np.nonzero(mask)[0]:
-                doc = reviews.corpus.doc(int(doc_index))
-                counts += np.bincount(doc, minlength=vocab)
+            counts = 1.0 + np.bincount(  # Laplace smoothing
+                reviews.corpus.tokens[token_labels == label], minlength=vocab
+            ).astype(np.float64)
             class_probs[label] = counts / counts.sum()
         lengths = np.maximum(reviews.corpus.doc_lengths().astype(np.float64), 1.0)
         log_lengths = np.log(lengths)
@@ -289,11 +344,21 @@ class ReviewModel:
             1, rng.lognormal(self.log_len_mean, self.log_len_sigma, num_reviews).astype(np.int64)
         )
         cdfs = {label: np.cumsum(p) for label, p in self.class_word_probs.items()}
-        docs = []
-        for label, length in zip(labels.tolist(), lengths.tolist()):
-            u = rng.random(int(length))
-            docs.append(np.searchsorted(cdfs[label], u, side="left").astype(np.int64))
-        corpus = TextCorpus.from_docs(docs, self.vocab_size)
+        # Draw every document's uniforms in one call (sequential
+        # ``rng.random(length)`` calls consume the identical stream),
+        # then invert each class CDF over its tokens in one
+        # searchsorted per class instead of one per review.
+        offsets = np.zeros(num_reviews + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        u = rng.random(int(offsets[-1]))
+        token_labels = np.repeat(labels, lengths)
+        tokens = np.empty(int(offsets[-1]), dtype=np.int64)
+        for label, cdf in cdfs.items():
+            mask = token_labels == label
+            if mask.any():
+                tokens[mask] = np.searchsorted(cdf, u[mask], side="left")
+        corpus = TextCorpus(tokens=tokens, doc_offsets=offsets,
+                            vocab_size=self.vocab_size)
         return ReviewSet(
             user_ids=self.user_zipf.sample(num_reviews, rng),
             movie_ids=self.movie_zipf.sample(num_reviews, rng),
@@ -339,6 +404,21 @@ class ResumeSet:
 
     def record_key(self, index: int) -> bytes:
         return f"resume:{index:012d}".encode()
+
+    def to_arrays(self) -> "tuple[dict, dict]":
+        """Artifact codec (see :mod:`repro.core.artifacts`)."""
+        return ({}, {"institution_ids": self.institution_ids,
+                     "field_ids": self.field_ids,
+                     "degree_ids": self.degree_ids,
+                     "publication_counts": self.publication_counts,
+                     "value_sizes": self.value_sizes})
+
+    @classmethod
+    def from_arrays(cls, meta: dict, arrays: dict) -> "ResumeSet":
+        return cls(**{name: arrays[name]
+                      for name in ("institution_ids", "field_ids",
+                                   "degree_ids", "publication_counts",
+                                   "value_sizes")})
 
 
 @dataclass(frozen=True)

@@ -53,7 +53,36 @@ class Vocabulary:
         return 2 * digits
 
     def words(self, ids: np.ndarray) -> list:
-        return [self.word(int(i)) for i in ids]
+        """Word strings for an id array, vectorized.
+
+        Builds all words digit-plane by digit-plane (at most
+        ``log_BASE(size)`` planes) instead of one Python divmod loop per
+        id; output is identical to calling :meth:`word` per id.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size == 0:
+            return []
+        if ids.min() < 0 or ids.max() >= self.size:
+            raise IndexError(
+                f"word id outside vocabulary of {self.size}")
+        syllables = np.asarray(_SYLLABLES)
+        n = ids.ravel() + 1
+        max_digits = 1
+        top = int(n.max())
+        while top >= _BASE:
+            top //= _BASE
+            max_digits += 1
+        out = np.zeros(n.shape, dtype=f"<U{2 * max_digits}")
+        active = n > 0
+        while active.any():
+            quotient, digit = np.divmod(n[active], _BASE)
+            # Words that already emitted all their digits append "".
+            plane = np.zeros(n.shape, dtype="<U2")
+            plane[active] = syllables[digit]
+            out = np.char.add(out, plane)
+            n[active] = quotient
+            active = n > 0
+        return out.tolist()
 
 
 @dataclass
@@ -94,6 +123,18 @@ class TextCorpus:
         """Serialized size: each token's word plus one separator byte."""
         lengths = self.vocabulary.word_lengths()
         return int(lengths[self.tokens].sum() + self.num_tokens)
+
+    def to_arrays(self) -> "tuple[dict, dict]":
+        """Artifact codec: JSON-scalar metadata plus named arrays (see
+        :mod:`repro.core.artifacts`)."""
+        return ({"vocab_size": int(self.vocab_size)},
+                {"tokens": self.tokens, "doc_offsets": self.doc_offsets})
+
+    @classmethod
+    def from_arrays(cls, meta: dict, arrays: dict) -> "TextCorpus":
+        """Rebuild from codec output; arrays may be read-only memmaps."""
+        return cls(tokens=arrays["tokens"], doc_offsets=arrays["doc_offsets"],
+                   vocab_size=int(meta["vocab_size"]))
 
     @staticmethod
     def from_docs(docs: list, vocab_size: int) -> "TextCorpus":

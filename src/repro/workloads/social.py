@@ -80,12 +80,11 @@ class OlioServerWorkload(Workload):
 # K-means (workload 15)
 # ---------------------------------------------------------------------------
 
-#: Feature dimensionality and cluster count of the K-means input.
-KMEANS_DIM = 8
-KMEANS_K = 6
-
-#: Points per baseline scale unit (stands for 32 GB of feature vectors).
-KMEANS_BASE_POINTS = 24_000
+#: Input geometry lives with the other data sources in
+#: :mod:`repro.workloads.inputs`; re-exported here for the cost models.
+KMEANS_BASE_POINTS = inputs.KMEANS_BASE_POINTS
+KMEANS_DIM = inputs.KMEANS_DIM
+KMEANS_K = inputs.KMEANS_K
 
 
 def kmeans_assign(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
@@ -173,15 +172,10 @@ class KmeansWorkload(Workload):
 
     def prepare(self, scale: int, seed: int = 0) -> WorkloadInput:
         self.check_scale(scale)
-        rng = np.random.default_rng(8000 + seed)
-        n = KMEANS_BASE_POINTS * scale
-        # Mixture of true clusters so the algorithm has structure to find.
-        true_centers = rng.normal(0, 6.0, size=(KMEANS_K, KMEANS_DIM))
-        labels = rng.integers(0, KMEANS_K, size=n)
-        points = true_centers[labels] + rng.normal(0, 1.0, size=(n, KMEANS_DIM))
+        points = inputs.kmeans_points_input(scale, seed)
         return WorkloadInput(
             payload=points, nbytes=points.nbytes, scale=scale,
-            details={"points": n, "dim": KMEANS_DIM, "k": KMEANS_K},
+            details={"points": len(points), "dim": KMEANS_DIM, "k": KMEANS_K},
         )
 
     def run(self, prepared, ctx=None, cluster: ClusterSpec = PAPER_CLUSTER,

@@ -11,7 +11,7 @@ class TestParser:
         actions = parser._subparsers._group_actions[0].choices
         assert set(actions) == {
             "list", "run", "sweep", "table", "figure", "roofline", "rank",
-            "export", "trace", "metrics", "chaos",
+            "export", "trace", "metrics", "chaos", "artifacts",
         }
 
     def test_run_defaults(self):
@@ -96,3 +96,20 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "DIVERGED" in out
         assert "work lost" in out
+
+    def test_artifacts_ls_gc_path(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.core.artifacts import ArtifactStore
+
+        root = str(tmp_path / "artifacts")
+        ArtifactStore(root=root).put(("text", 1, 0),
+                                     np.arange(64, dtype=np.int64))
+        assert main(["artifacts", "ls", "--dir", root]) == 0
+        out = capsys.readouterr().out
+        assert "('text', 1, 0)" in out
+        assert "live" in out
+        assert main(["artifacts", "path", "--dir", root]) == 0
+        assert capsys.readouterr().out.strip().startswith(root)
+        assert main(["artifacts", "gc", "--dir", root, "--cap-mb", "0"]) == 0
+        assert "1 evicted" in capsys.readouterr().out
