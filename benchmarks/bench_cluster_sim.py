@@ -1,0 +1,132 @@
+"""Event-driven vs analytic execution plane: agreement and overhead.
+
+Two gates on the cluster simulator, measured on real workload costs
+(one workload per engine family, characterized fresh):
+
+1. **Agreement / simulator overhead**: on the homogeneous paper
+   cluster, the event-driven replay's modeled wall time stays within
+   2x of the analytic model's for every workload -- per-node FIFO
+   contention, stragglers, and pairwise shuffle must *refine* the flat
+   model, not contradict it.
+2. **Compute cost**: replaying a job on the simulator is pure Python
+   over ~hundreds of tasks; it must stay a negligible fraction of the
+   characterization that produced the cost (and is reported per-eval
+   so regressions show up across commits).
+
+Results are emitted as a JSON document; set ``REPRO_BENCH_JSON`` to
+also write it to a file (same convention as bench_datagen_artifacts).
+"""
+
+import json
+import os
+import time
+
+from benchmarks.conftest import emit
+from repro.cluster import MIXED_CLUSTER, PAPER_CLUSTER, TimeModel
+from repro.core.report import render_table
+from repro.core.workload import DATA_SCALE
+
+#: One workload per engine family: MapReduce, Spark, SQL, serving, BSP.
+FAMILY_WORKLOADS = [
+    ("Sort", "hadoop"),
+    ("Sort", "spark"),
+    ("Select Query", None),
+    ("Nutch Server", None),
+    ("BFS", None),
+]
+
+#: The agreement/overhead gate: event-driven modeled seconds within
+#: this factor of analytic modeled seconds, both directions.
+AGREEMENT_FACTOR = 2.0
+
+
+def _model(mode, cluster=PAPER_CLUSTER):
+    return TimeModel(cluster, data_scale=DATA_SCALE, mode=mode)
+
+
+def test_event_plane_agreement_and_overhead(benchmark, harness):
+    rows = []
+    payload = []
+    char_start = time.perf_counter()
+    costs = {
+        (name, stack): harness.characterize(name, scale=1, stack=stack).result.cost
+        for name, stack in FAMILY_WORKLOADS
+    }
+    characterize_seconds = time.perf_counter() - char_start
+
+    def replay_all():
+        return {key: _model("event").job_time(cost)
+                for key, cost in costs.items()}
+
+    start = time.perf_counter()
+    event_times = benchmark.pedantic(replay_all, iterations=1, rounds=1)
+    replay_seconds = time.perf_counter() - start
+
+    for (name, stack), cost in costs.items():
+        label = f"{name} [{stack}]" if stack else name
+        analytic = _model("analytic").job_time(cost)
+        event = event_times[(name, stack)]
+        ratio = event / analytic
+        rows.append([label, len(cost.phases), f"{analytic:.1f}",
+                     f"{event:.1f}", f"{ratio:.2f}"])
+        payload.append({
+            "workload": name, "stack": stack, "phases": len(cost.phases),
+            "analytic_seconds": analytic, "event_seconds": event,
+            "ratio": ratio,
+        })
+        assert analytic / AGREEMENT_FACTOR <= event <= analytic * AGREEMENT_FACTOR, (
+            f"{label}: event {event:.1f}s vs analytic {analytic:.1f}s "
+            f"outside {AGREEMENT_FACTOR}x")
+
+    emit(render_table(
+        ["Workload", "Phases", "Analytic s", "Event s", "Ratio"],
+        rows, title="Modeled wall time: analytic vs event-driven replay",
+    ))
+
+    per_eval_ms = replay_seconds / len(costs) * 1e3
+    doc = {
+        "bench": "cluster_sim",
+        "data_scale": DATA_SCALE,
+        "workloads": payload,
+        "characterize_seconds": characterize_seconds,
+        "event_replay_seconds": replay_seconds,
+        "event_replay_ms_per_job": per_eval_ms,
+    }
+    text = json.dumps(doc, indent=2, sort_keys=True)
+    emit(text)
+    out = os.environ.get("REPRO_BENCH_JSON")
+    if out:
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+
+    # Replaying every family's job costs less than the cheapest part of
+    # producing them: simulation is an accounting pass, not a second
+    # characterization.
+    assert replay_seconds <= max(characterize_seconds, 1.0), (
+        f"event replay {replay_seconds:.2f}s vs "
+        f"characterization {characterize_seconds:.2f}s")
+
+
+def test_heterogeneous_replay_is_sane(harness):
+    """The mixed E5645+E5310 preset only exists on the event plane;
+    check a real cost replays there deterministically and lands slower
+    than 15 fast nodes but faster than 14 alone would suggest broken
+    placement (the slow node must help, not hurt)."""
+    cost = harness.characterize("Sort", scale=1).result.cost
+    paper = _model("event").job_time(cost)
+    mixed_model = TimeModel(MIXED_CLUSTER, data_scale=DATA_SCALE, mode="event")
+    mixed = mixed_model.job_time(cost)
+    again = TimeModel(MIXED_CLUSTER, data_scale=DATA_SCALE,
+                      mode="event").job_time(cost)
+    assert mixed == again
+    assert mixed <= paper * 1.05
+
+    result = mixed_model.simulate(cost)
+    assert len(result.nodes) == 15
+    assert result.nodes[14].busy_cpu_seconds > 0
+    emit(render_table(
+        ["Cluster", "Modeled s"],
+        [["paper (14x E5645)", f"{paper:.1f}"],
+         ["mixed (+1 E5310)", f"{mixed:.1f}"]],
+        title="Sort on the event plane: homogeneous vs mixed",
+    ))

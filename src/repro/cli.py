@@ -42,6 +42,15 @@ def _machine(name: str):
     raise SystemExit(f"unknown machine {name!r}; known: {known}")
 
 
+def _cluster(name):
+    from repro.cluster.node import resolve_cluster
+
+    try:
+        return resolve_cluster(name)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
 def _add_exec_options(sub) -> None:
     """The shared execution flags: process fan-out and cache bypass."""
     sub.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
@@ -52,6 +61,9 @@ def _add_exec_options(sub) -> None:
     sub.add_argument("--no-artifacts", action="store_true",
                      help="do not read or write the shared input "
                           "artifact store (regenerate all inputs)")
+    sub.add_argument("--cluster", default=None, metavar="NAME",
+                     help="cluster preset to model (see 'repro cluster ls'; "
+                          "default: the paper's 14-node testbed)")
 
 
 def _harness(args, machine=None) -> Harness:
@@ -63,8 +75,12 @@ def _harness(args, machine=None) -> Harness:
         jobs = default_jobs()
     cache = not getattr(args, "no_cache", False)
     artifacts = False if getattr(args, "no_artifacts", False) else None
+    kwargs = {}
+    cluster = getattr(args, "cluster", None)
+    if cluster is not None:
+        kwargs["cluster"] = _cluster(cluster)
     return Harness(machine=machine or XEON_E5645, jobs=jobs, cache=cache,
-                   artifacts=artifacts)
+                   artifacts=artifacts, **kwargs)
 
 
 def cmd_list(args) -> None:
@@ -249,6 +265,44 @@ def cmd_chaos(args) -> None:
             raise SystemExit(1)
 
 
+def cmd_cluster(args) -> None:
+    from repro.cluster.node import CLUSTERS, GB
+
+    if args.action == "show":
+        names = [args.name] if args.name else sorted(CLUSTERS)
+        for name in names:
+            spec = _cluster(name)
+            rows = []
+            for index, node in enumerate(spec.nodes):
+                rows.append([
+                    index, node.machine.name, node.cores,
+                    f"{node.machine.freq_hz / 1e9:.2f}",
+                    f"{node.memory_bytes / GB:.0f}",
+                    f"{node.disk.seq_bandwidth / (1 << 20):.0f}",
+                    f"{node.nic.bandwidth / (1 << 20):.0f}",
+                ])
+            kind = "heterogeneous" if spec.is_heterogeneous else "homogeneous"
+            print(render_table(
+                ["Node", "Machine", "Cores", "GHz", "RAM GB",
+                 "Disk MB/s", "NIC MB/s"], rows,
+                title=f"cluster {name!r}: {spec.total_nodes} nodes ({kind})"))
+        return
+    # ls (default): one row per preset.
+    rows = []
+    for name in sorted(CLUSTERS):
+        spec = CLUSTERS[name]
+        machines = ", ".join(sorted({n.machine.name for n in spec.nodes}))
+        rows.append([
+            name, spec.total_nodes, spec.total_cores,
+            f"{spec.total_memory_bytes / GB:.0f}",
+            machines,
+            "yes" if spec.is_heterogeneous else "no",
+        ])
+    print(render_table(
+        ["Preset", "Nodes", "Cores", "RAM GB", "Machines", "Mixed"], rows,
+        title="cluster presets (--cluster NAME)"))
+
+
 def cmd_table(args) -> None:
     from repro.analysis import render_paper_table
 
@@ -276,7 +330,7 @@ def cmd_figure(args) -> None:
         figure5, figure6_cache, figure6_tlb,
     )
 
-    harness = _harness(args, machine=XEON_E5645)
+    harness = _harness(args, machine=_machine(args.machine))
     number = args.number
     _prewarm_figure(harness, number)
     if number == "2":
@@ -440,8 +494,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     figure = sub.add_parser("figure", help="regenerate a paper figure (2-6)")
     figure.add_argument("number")
+    figure.add_argument("--machine", default="E5645")
     _add_exec_options(figure)
     figure.set_defaults(fn=cmd_figure)
+
+    cluster = sub.add_parser(
+        "cluster", help="inspect the cluster presets the time models run "
+                        "against")
+    cluster.add_argument("action", nargs="?", default="ls",
+                         choices=["ls", "show"],
+                         help="ls = list presets; show = per-node detail")
+    cluster.add_argument("name", nargs="?", default=None,
+                         help="preset to show (default: all)")
+    cluster.set_defaults(fn=cmd_cluster)
 
     roofline = sub.add_parser("roofline", help="roofline placement")
     roofline.add_argument("workloads", nargs="*")

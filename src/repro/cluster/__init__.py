@@ -1,30 +1,49 @@
-"""Cluster hardware specs and the analytic job-time model.
+"""The cluster execution plane: hardware specs, cost charging, and time
+models.
 
-Stands in for the paper's 14-node Xeon E5645 testbed: node/disk/NIC
-specifications (Table 5 plus Section 6.1) and a phase-based time model
-that converts measured byte/operation counts into modeled runtimes for
-the user-perceivable metrics (DPS, OPS, RPS).
+Stands in for the paper's 14-node Xeon E5645 testbed (plus the Table 7
+E5310 machine): node/disk/NIC specifications, the shared
+:class:`CostLedger` every engine family charges phases through, the
+analytic phase-based :class:`TimeModel`, and the event-driven per-node
+:class:`ClusterSim` that replays charged costs against FIFO core/disk/
+NIC resources -- converting measured byte/operation counts into modeled
+runtimes for the user-perceivable metrics (DPS, OPS, RPS).
 """
 
+from repro.cluster.ledger import CostLedger
 from repro.cluster.node import (
+    CLUSTERS,
     ClusterSpec,
     DiskSpec,
+    E5310_NODE,
+    MIXED_CLUSTER,
     NicSpec,
     NodeSpec,
     PAPER_CLUSTER,
     SINGLE_NODE,
+    resolve_cluster,
 )
+from repro.cluster.sim import ClusterSim, NodeUsage, SimPhase, SimResult
 from repro.cluster.timemodel import JobCost, PhaseCost, PhaseTime, TimeModel
 
 __all__ = [
+    "CLUSTERS",
+    "ClusterSim",
     "ClusterSpec",
+    "CostLedger",
     "DiskSpec",
+    "E5310_NODE",
     "JobCost",
+    "MIXED_CLUSTER",
     "NicSpec",
     "NodeSpec",
+    "NodeUsage",
     "PAPER_CLUSTER",
     "PhaseCost",
     "PhaseTime",
+    "SimPhase",
+    "SimResult",
     "SINGLE_NODE",
     "TimeModel",
+    "resolve_cluster",
 ]

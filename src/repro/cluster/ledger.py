@@ -1,0 +1,154 @@
+"""CostLedger: the one charging API every engine family bills through.
+
+Before this module each engine kept a private ``cost = JobCost()`` and
+its own copy of ``_cpu_seconds`` (instructions x effective CPI / clock).
+The ledger subsumes both: engines construct one per job run (or per
+driver, for Spark's cumulative accounting), charge phases through
+:meth:`charge` / :meth:`measured`, and hand the accumulated
+:class:`~repro.cluster.timemodel.JobCost` to their result objects.
+
+Charging has observable side effects by design:
+
+* every phase increments the ``cluster.charged.*`` metrics
+  (:mod:`repro.obs.metrics`), so process-level accounting exists without
+  plumbing result objects around;
+* :meth:`measured` opens a ``wave:<name>`` span (category ``cluster``)
+  around the work it meters, so traces show exactly which stretch of
+  execution each charged phase covers.
+
+CPU seconds are derived per-ledger from the engine's effective CPI and
+the cluster's *reference* machine (``cluster.node.machine``) -- the same
+expression, evaluated in the same order, as the per-engine helpers it
+replaces, so modeled costs are bit-identical across the refactor.  The
+event-driven simulator (:mod:`repro.cluster.sim`) re-times the same
+charges per node, where heterogeneous clocks apply.
+
+:meth:`absorb` merges phases produced by an inner engine (Hive plans
+chaining MapReduce jobs, workloads looping an engine) without re-noting
+metrics -- the inner engine's ledger already counted them.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.cluster.node import ClusterSpec, PAPER_CLUSTER
+from repro.cluster.timemodel import JobCost, PhaseCost
+
+
+class PendingPhase:
+    """Mutable field holder yielded by :meth:`CostLedger.measured`.
+
+    The metered code block fills in the byte volumes it discovered while
+    running; the ledger charges the finished phase (with the measured
+    instruction delta) when the block exits.
+    """
+
+    __slots__ = ("name", "disk_read_bytes", "disk_write_bytes",
+                 "shuffle_bytes", "working_bytes", "fixed_seconds")
+
+    def __init__(self, name: str, disk_read_bytes: float = 0.0,
+                 disk_write_bytes: float = 0.0, shuffle_bytes: float = 0.0,
+                 working_bytes: float = 0.0, fixed_seconds: float = 0.0):
+        self.name = name
+        self.disk_read_bytes = disk_read_bytes
+        self.disk_write_bytes = disk_write_bytes
+        self.shuffle_bytes = shuffle_bytes
+        self.working_bytes = working_bytes
+        self.fixed_seconds = fixed_seconds
+
+
+class CostLedger:
+    """Accumulates one job's :class:`JobCost`, with obs side effects."""
+
+    def __init__(self, cluster: ClusterSpec = PAPER_CLUSTER, ctx=None,
+                 cpi: float = 1.0):
+        from repro.uarch.perfctx import context_or_null
+
+        if cpi <= 0:
+            raise ValueError("cpi must be positive")
+        self.cluster = cluster
+        self.ctx = context_or_null(ctx)
+        self.cpi = cpi
+        self.job = JobCost()
+
+    @property
+    def phases(self) -> list:
+        return self.job.phases
+
+    def cpu_seconds(self, instructions: float) -> float:
+        """Single-core seconds of ``instructions`` at the engine's CPI on
+        the cluster's reference machine."""
+        return instructions * self.cpi / self.cluster.node.machine.freq_hz
+
+    def charge(self, name: str, *, instructions: float = None,
+               cpu_seconds: float = 0.0, disk_read_bytes: float = 0.0,
+               disk_write_bytes: float = 0.0, shuffle_bytes: float = 0.0,
+               working_bytes: float = 0.0,
+               fixed_seconds: float = 0.0) -> PhaseCost:
+        """Append one phase; pass either ``instructions`` (converted via
+        :meth:`cpu_seconds`) or ready ``cpu_seconds``."""
+        if instructions is not None:
+            cpu_seconds = self.cpu_seconds(instructions)
+        phase = PhaseCost(
+            name=name, cpu_seconds=cpu_seconds,
+            disk_read_bytes=disk_read_bytes, disk_write_bytes=disk_write_bytes,
+            shuffle_bytes=shuffle_bytes, working_bytes=working_bytes,
+            fixed_seconds=fixed_seconds,
+        )
+        self.job.add(phase)
+        self._note(phase)
+        return phase
+
+    @contextmanager
+    def measured(self, name: str, **fields):
+        """Meter a code block: capture its instruction delta, open a
+        ``wave:<name>`` span, and charge the phase on exit.
+
+        Keyword ``fields`` seed the :class:`PendingPhase` the block may
+        mutate (byte volumes usually only become known while running).
+        """
+        pending = PendingPhase(name, **fields)
+        events = self.ctx.events
+        instr_before = events.instructions
+        with self.ctx.span(f"wave:{name}", category="cluster") as span:
+            yield pending
+            phase = self.charge(
+                name,
+                instructions=events.instructions - instr_before,
+                disk_read_bytes=pending.disk_read_bytes,
+                disk_write_bytes=pending.disk_write_bytes,
+                shuffle_bytes=pending.shuffle_bytes,
+                working_bytes=pending.working_bytes,
+                fixed_seconds=pending.fixed_seconds,
+            )
+            span.set("cpu_seconds", phase.cpu_seconds)
+            span.set("disk_bytes",
+                     phase.disk_read_bytes + phase.disk_write_bytes)
+            span.set("shuffle_bytes", phase.shuffle_bytes)
+
+    def absorb(self, *costs) -> JobCost:
+        """Merge phases from inner :class:`JobCost`s (or phase iterables)
+        produced by nested engine runs.  Metrics are not re-noted -- the
+        inner ledger counted them when the phases were first charged."""
+        for cost in costs:
+            phases = cost.phases if hasattr(cost, "phases") else cost
+            for phase in phases:
+                self.job.add(phase)
+        return self.job
+
+    # -- internals -----------------------------------------------------------
+
+    def _note(self, phase: PhaseCost) -> None:
+        from repro.obs.metrics import METRICS
+
+        METRICS.counter("cluster.charged.phases").inc()
+        if phase.cpu_seconds > 0:
+            METRICS.counter("cluster.charged.cpu_seconds").inc(
+                phase.cpu_seconds)
+        disk = phase.disk_read_bytes + phase.disk_write_bytes
+        if disk > 0:
+            METRICS.counter("cluster.charged.disk_bytes").inc(disk)
+        if phase.shuffle_bytes > 0:
+            METRICS.counter("cluster.charged.shuffle_bytes").inc(
+                phase.shuffle_bytes)

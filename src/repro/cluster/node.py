@@ -1,18 +1,26 @@
 """Hardware specification of cluster nodes.
 
 Models the paper's testbed (Section 6.1): 14 nodes, each with two Xeon
-E5645 processors, 16 GB of memory, 8 TB of disk, and gigabit Ethernet.
-The specs feed the analytic job-time model in
-:mod:`repro.cluster.timemodel`, which converts measured operation and
-byte counts into modeled runtimes for the user-perceivable metrics
-(DPS/OPS/RPS, Section 6.1.2).
+E5645 processors, 16 GB of memory, 8 TB of disk, and gigabit Ethernet --
+plus the second Xeon E5310 machine of Table 7.  The specs feed both the
+analytic job-time model in :mod:`repro.cluster.timemodel` and the
+event-driven per-node simulator in :mod:`repro.cluster.sim`, which
+convert measured operation and byte counts into modeled runtimes for the
+user-perceivable metrics (DPS/OPS/RPS, Section 6.1.2).
+
+A :class:`ClusterSpec` is homogeneous by default (``node`` repeated
+``num_nodes`` times); heterogeneous clusters append ``extra_nodes`` --
+e.g. :data:`MIXED_CLUSTER` models the paper's testbed with the E5310
+machine joined to the E5645 rack.  Named presets live in
+:data:`CLUSTERS` for the CLI's ``repro cluster {ls,show}`` and the
+``--cluster`` flag.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.uarch.hierarchy import MachineConfig, XEON_E5645
+from repro.uarch.hierarchy import MachineConfig, XEON_E5310, XEON_E5645
 
 GB = 1024 ** 3
 TB = 1024 ** 4
@@ -66,30 +74,51 @@ class NodeSpec:
 
 @dataclass(frozen=True)
 class ClusterSpec:
-    """A homogeneous cluster of ``num_nodes`` nodes (paper: 14)."""
+    """A cluster of ``num_nodes`` identical nodes (paper: 14) plus any
+    ``extra_nodes`` -- heterogeneous members appended after the base
+    rack, each with its own machine, memory, disk, and NIC."""
 
     node: NodeSpec = NodeSpec()
     num_nodes: int = 14
+    extra_nodes: tuple = ()
 
     def __post_init__(self) -> None:
         if self.num_nodes <= 0:
             raise ValueError("cluster needs at least one node")
+        object.__setattr__(self, "extra_nodes", tuple(self.extra_nodes))
+        for extra in self.extra_nodes:
+            if not isinstance(extra, NodeSpec):
+                raise ValueError(f"extra_nodes takes NodeSpec, got {extra!r}")
+
+    @property
+    def nodes(self) -> tuple:
+        """Every node in the cluster, indexed by node id (base rack
+        first, then the heterogeneous extras)."""
+        return (self.node,) * self.num_nodes + self.extra_nodes
+
+    @property
+    def total_nodes(self) -> int:
+        return self.num_nodes + len(self.extra_nodes)
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        return bool(self.extra_nodes)
 
     @property
     def total_cores(self) -> int:
-        return self.node.cores * self.num_nodes
+        return sum(node.cores for node in self.nodes)
 
     @property
     def total_memory_bytes(self) -> int:
-        return self.node.memory_bytes * self.num_nodes
+        return sum(node.memory_bytes for node in self.nodes)
 
     @property
     def aggregate_disk_bandwidth(self) -> float:
-        return self.node.disk.seq_bandwidth * self.num_nodes
+        return sum(node.disk.seq_bandwidth for node in self.nodes)
 
     @property
     def aggregate_network_bandwidth(self) -> float:
-        return self.node.nic.bandwidth * self.num_nodes
+        return sum(node.nic.bandwidth for node in self.nodes)
 
 
 #: The paper's testbed: 14 dual-E5645 nodes (Section 6.1).
@@ -97,3 +126,32 @@ PAPER_CLUSTER = ClusterSpec(node=NodeSpec(), num_nodes=14)
 
 #: A single node, for service workloads pinned to one machine.
 SINGLE_NODE = ClusterSpec(node=NodeSpec(), num_nodes=1)
+
+#: The paper's second machine (Table 7): dual Xeon E5310, two cache
+#: levels, a smaller memory budget, the same disk/NIC class.
+E5310_NODE = NodeSpec(name="e5310-node", machine=XEON_E5310,
+                      memory_bytes=8 * GB)
+
+#: The full Section 6 testbed: the 14-node E5645 rack with the E5310
+#: machine joined -- the first heterogeneous cluster the reproduction
+#: can express (per-node CPU seconds diverge with core count and clock).
+MIXED_CLUSTER = ClusterSpec(node=NodeSpec(), num_nodes=14,
+                            extra_nodes=(E5310_NODE,))
+
+#: Named presets for the CLI (``repro cluster ls`` / ``--cluster``).
+CLUSTERS = {
+    "paper": PAPER_CLUSTER,
+    "single": SINGLE_NODE,
+    "mixed": MIXED_CLUSTER,
+}
+
+
+def resolve_cluster(name) -> ClusterSpec:
+    """Map a preset name (or a ready ClusterSpec) to a ClusterSpec."""
+    if isinstance(name, ClusterSpec):
+        return name
+    try:
+        return CLUSTERS[str(name).lower()]
+    except KeyError:
+        known = ", ".join(sorted(CLUSTERS))
+        raise ValueError(f"unknown cluster {name!r}; known presets: {known}")

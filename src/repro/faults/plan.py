@@ -40,6 +40,12 @@ from dataclasses import dataclass, field
 #:                   (recovery: retry with exponential backoff + jitter).
 #: ``overload``      offered load past saturation
 #:                   (recovery: load shedding / graceful degradation).
+#: ``slow_disk``     one node's disk degrades to 1/factor bandwidth for
+#:                   the whole run (event-driven simulator resource
+#:                   modifier; no recovery -- work routes around it).
+#: ``slow_nic``      one node's NIC degrades to 1/factor bandwidth for
+#:                   the whole run (event-driven simulator resource
+#:                   modifier; no recovery -- flows just take longer).
 FAULT_KINDS = (
     "task_crash",
     "node_kill",
@@ -50,6 +56,8 @@ FAULT_KINDS = (
     "crash",
     "timeout",
     "overload",
+    "slow_disk",
+    "slow_nic",
 )
 
 #: The kitchen-sink plan the ``repro chaos`` CLI uses when ``--faults``
@@ -96,7 +104,7 @@ class FaultRule:
         if self.node < 0:
             raise ValueError(f"node must be >= 0, got {self.node}")
         if self.rate == 0.0 and not self.at and self.kind not in (
-                "node_kill", "overload"):
+                "node_kill", "overload", "slow_disk", "slow_nic"):
             raise ValueError(
                 f"rule {self.kind!r} would never fire: give rate= or at=")
 

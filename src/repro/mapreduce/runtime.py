@@ -17,8 +17,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.cluster.ledger import CostLedger
 from repro.cluster.node import ClusterSpec, PAPER_CLUSTER
-from repro.cluster.timemodel import JobCost, PhaseCost
+from repro.cluster.timemodel import JobCost
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.hdfs import DfsFile
 from repro.mapreduce.job import MapReduceJob
@@ -190,22 +191,21 @@ class MapReduceRuntime:
 
         ctx = self.ctx
         counters = Counters()
-        cost = JobCost()
+        ledger = CostLedger(self.cluster, ctx=ctx, cpi=self.EFFECTIVE_CPI)
         with ctx.span(f"mr:job:{job.name}", category="mapreduce") as job_span:
             with ctx.span("mr:split", category="mapreduce") as sp:
                 splits = dfs_file.splits(slicer)
                 sp.set("splits", len(splits))
             working_region = f"{job.name}:working"
             ctx.touch(working_region, job.working_bytes(dfs_file.nbytes))
-            cost.add(PhaseCost(name="job-setup",
-                               fixed_seconds=self.JOB_FIXED_SECONDS))
+            ledger.charge("job-setup", fixed_seconds=self.JOB_FIXED_SECONDS)
 
             with ctx.code(job.code_profile):
                 partitions, map_out_records = self._map_phase(
-                    job, splits, dfs_file, counters, cost, working_region
+                    job, splits, dfs_file, counters, ledger, working_region
                 )
                 out_keys, out_values = self._reduce_phase(
-                    job, partitions, map_out_records, counters, cost,
+                    job, partitions, map_out_records, counters, ledger,
                     working_region, dfs_file.nbytes,
                 )
             job_span.set("input_bytes", dfs_file.nbytes)
@@ -228,23 +228,24 @@ class MapReduceRuntime:
             output_keys=out_keys,
             output_values=out_values,
             counters=counters,
-            cost=cost,
+            cost=ledger.job,
             input_bytes=dfs_file.nbytes,
         )
 
     # -- phases ----------------------------------------------------------------
 
-    def _map_phase(self, job, splits, dfs_file, counters, cost, working_region):
+    def _map_phase(self, job, splits, dfs_file, counters, ledger, working_region):
         ctx = self.ctx
         with ctx.span("mr:map", category="mapreduce", splits=len(splits)) as sp:
-            result = self._map_splits(job, splits, dfs_file, counters, cost,
-                                      working_region)
+            with ledger.measured("map") as pending:
+                result = self._map_splits(job, splits, dfs_file, counters,
+                                          pending, working_region)
             sp.set("output_records", counters.get("map_output_records"))
         return result
 
-    def _map_splits(self, job, splits, dfs_file, counters, cost, working_region):
+    def _map_splits(self, job, splits, dfs_file, counters, pending,
+                    working_region):
         ctx = self.ctx
-        instr_before = ctx.events.instructions
         partitions = [[] for _ in range(self.num_reducers)]
         boundaries = None
         total_out_records = 0
@@ -364,17 +365,13 @@ class MapReduceRuntime:
         map_output_bytes = total_out_records * job.intermediate_record_bytes
         counters.add("map_output_bytes", map_output_bytes)
 
-        cost.add(PhaseCost(
-            name="map",
-            cpu_seconds=self._cpu_seconds(ctx.events.instructions - instr_before),
-            disk_read_bytes=dfs_file.nbytes + extra_read_bytes,
-            disk_write_bytes=map_output_bytes,
-            # Replica re-reads cross the network (non-local map tasks).
-            shuffle_bytes=remote_read_bytes,
-            working_bytes=map_output_bytes,
-            # Unhedged stragglers stretch the phase tail.
-            fixed_seconds=straggle_seconds,
-        ))
+        pending.disk_read_bytes = dfs_file.nbytes + extra_read_bytes
+        pending.disk_write_bytes = map_output_bytes
+        # Replica re-reads cross the network (non-local map tasks).
+        pending.shuffle_bytes = remote_read_bytes
+        pending.working_bytes = map_output_bytes
+        # Unhedged stragglers stretch the phase tail.
+        pending.fixed_seconds = straggle_seconds
         return partitions, total_out_records
 
     def _map_attempts(self, counters) -> int:
@@ -388,21 +385,21 @@ class MapReduceRuntime:
             attempts += 1
         return attempts
 
-    def _reduce_phase(self, job, partitions, map_out_records, counters, cost,
+    def _reduce_phase(self, job, partitions, map_out_records, counters, ledger,
                       working_region, input_nbytes):
         ctx = self.ctx
         with ctx.span("mr:reduce", category="mapreduce",
                       reducers=self.num_reducers) as sp:
-            result = self._reduce_partitions(
-                job, partitions, map_out_records, counters, cost,
-                working_region, input_nbytes)
+            with ledger.measured("reduce") as pending:
+                result = self._reduce_partitions(
+                    job, partitions, map_out_records, counters, pending,
+                    working_region, input_nbytes)
             sp.set("output_records", counters.get("reduce_output_records"))
         return result
 
     def _reduce_partitions(self, job, partitions, map_out_records, counters,
-                           cost, working_region, input_nbytes):
+                           pending, working_region, input_nbytes):
         ctx = self.ctx
-        instr_before = ctx.events.instructions
         map_output_bytes = map_out_records * job.intermediate_record_bytes
         shuffle_bytes = map_output_bytes * job.shuffle_fraction()
         counters.add("shuffle_bytes", shuffle_bytes)
@@ -445,14 +442,10 @@ class MapReduceRuntime:
         output_bytes = job.output_bytes(input_nbytes, counters)
         ctx.seq_write(f"dfs:{job.name}:out", output_bytes)
 
-        cost.add(PhaseCost(
-            name="reduce",
-            cpu_seconds=self._cpu_seconds(ctx.events.instructions - instr_before),
-            disk_read_bytes=map_output_bytes,
-            disk_write_bytes=output_bytes,
-            shuffle_bytes=shuffle_bytes,
-            working_bytes=map_output_bytes,
-        ))
+        pending.disk_read_bytes = map_output_bytes
+        pending.disk_write_bytes = output_bytes
+        pending.shuffle_bytes = shuffle_bytes
+        pending.working_bytes = map_output_bytes
 
         if all_keys:
             keys = np.concatenate(all_keys)
@@ -477,7 +470,3 @@ class MapReduceRuntime:
         """TeraSort-style total-order partitioner from a key sample."""
         quantiles = np.linspace(0, 1, self.num_reducers + 1)[1:-1]
         return np.quantile(sample_keys, quantiles)
-
-    def _cpu_seconds(self, instructions: float) -> float:
-        machine = self.cluster.node.machine
-        return instructions * self.EFFECTIVE_CPI / machine.freq_hz

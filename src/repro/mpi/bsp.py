@@ -23,8 +23,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.cluster.ledger import CostLedger
 from repro.cluster.node import ClusterSpec, PAPER_CLUSTER
-from repro.cluster.timemodel import JobCost, PhaseCost
+from repro.cluster.timemodel import JobCost
 from repro.mapreduce.runtime import FrameworkOverhead, MPI_OVERHEAD
 from repro.uarch.codemodel import MPI_STACK
 from repro.uarch.perfctx import context_or_null
@@ -127,27 +128,23 @@ class BspRuntime:
 
     def run(self, program: BspProgram) -> BspResult:
         ctx = self.ctx
-        cost = JobCost()
+        ledger = CostLedger(self.cluster, ctx=ctx, cpi=self.EFFECTIVE_CPI)
         total_comm = 0.0
 
         with ctx.code(program.code_profile):
             with ctx.span(f"bsp:load:{program.name}", category="mpi") as sp:
-                instr_before = ctx.events.instructions
-                states = [
-                    program.init_rank(rank, self.num_ranks, ctx)
-                    for rank in range(self.num_ranks)
-                ]
-                input_bytes = program.input_bytes()
-                sp.set("input_bytes", input_bytes)
-                ctx.seq_read(f"dfs:{program.name}", input_bytes, elem=64)
-                cost.add(PhaseCost(
-                    name="load",
-                    cpu_seconds=self._cpu_seconds(
-                        ctx.events.instructions - instr_before),
-                    disk_read_bytes=input_bytes,
-                    working_bytes=input_bytes,
-                    fixed_seconds=self.JOB_FIXED_SECONDS,
-                ))
+                with ledger.measured(
+                        "load",
+                        fixed_seconds=self.JOB_FIXED_SECONDS) as pending:
+                    states = [
+                        program.init_rank(rank, self.num_ranks, ctx)
+                        for rank in range(self.num_ranks)
+                    ]
+                    input_bytes = program.input_bytes()
+                    sp.set("input_bytes", input_bytes)
+                    ctx.seq_read(f"dfs:{program.name}", input_bytes, elem=64)
+                    pending.disk_read_bytes = input_bytes
+                    pending.working_bytes = input_bytes
 
             faults = self.faults
             # Checkpointing only arms when rank crashes can strike, so
@@ -172,11 +169,11 @@ class BspRuntime:
                     checkpoint = (step, copy.deepcopy(states),
                                   copy.deepcopy(inboxes), ckpt_bytes)
                     last_ckpt_step = step
-                    cost.add(PhaseCost(name=f"checkpoint:{step}",
-                                       disk_write_bytes=ckpt_bytes))
+                    ledger.charge(f"checkpoint:{step}",
+                                  disk_write_bytes=ckpt_bytes)
                 with ctx.span(f"bsp:superstep:{step}", category="mpi",
-                              ranks=self.num_ranks) as sp:
-                    instr_before = ctx.events.instructions
+                              ranks=self.num_ranks) as sp, \
+                        ledger.measured(f"superstep:{step}") as pending:
                     comms = [Communicator(r, self.num_ranks)
                              for r in range(self.num_ranks)]
                     any_active = False
@@ -222,15 +219,8 @@ class BspRuntime:
                             ctx.int_ops(0.05 * step_comm)
                     total_comm += step_comm
                     sp.set("comm_bytes", step_comm)
-
-                    cost.add(PhaseCost(
-                        name=f"superstep:{step}",
-                        cpu_seconds=self._cpu_seconds(
-                            ctx.events.instructions - instr_before
-                        ),
-                        shuffle_bytes=step_comm,
-                        working_bytes=step_comm,
-                    ))
+                    pending.shuffle_bytes = step_comm
+                    pending.working_bytes = step_comm
 
                 if check_crash and restarts < self.MAX_RESTARTS:
                     crashed = [
@@ -255,11 +245,11 @@ class BspRuntime:
                                       from_step=ckpt_step,
                                       ranks=len(crashed)):
                             ctx.seq_read("bsp:checkpoint", ckpt_bytes)
-                        cost.add(PhaseCost(
-                            name=f"recovery:restart:{restarts}",
+                        ledger.charge(
+                            f"recovery:restart:{restarts}",
                             disk_read_bytes=ckpt_bytes,
                             fixed_seconds=self.RESTART_FIXED_SECONDS,
-                        ))
+                        )
                         faults.recovered(
                             "checkpoint_restart",
                             f"bsp:{program.name}:step{step}",
@@ -282,7 +272,7 @@ class BspRuntime:
                 if not any_active and not any(next_inboxes):
                     break
 
-        return BspResult(states=states, supersteps=step, cost=cost,
+        return BspResult(states=states, supersteps=step, cost=ledger.job,
                          bytes_communicated=total_comm)
 
     @staticmethod
@@ -299,7 +289,3 @@ class BspRuntime:
                 if isinstance(payload, np.ndarray):
                     total += payload.nbytes
         return max(total, 1024)
-
-    def _cpu_seconds(self, instructions: float) -> float:
-        machine = self.cluster.node.machine
-        return instructions * self.EFFECTIVE_CPI / machine.freq_hz

@@ -15,7 +15,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.cluster.ledger import CostLedger
 from repro.cluster.node import ClusterSpec, SINGLE_NODE
+from repro.cluster.timemodel import JobCost
 from repro.serving.queueing import QueueingResult, mm_c
 from repro.uarch.codemodel import SERVER_STACK
 from repro.uarch.perfctx import context_or_null
@@ -86,6 +88,9 @@ class ServingResult:
     hedges: int = 0
     failed_requests: int = 0
     shed_rps: float = 0.0
+    #: Aggregate service demand of the sample, charged through the shared
+    #: cluster ledger (one ``serve`` phase).
+    cost: JobCost = None
 
     @property
     def throughput_rps(self) -> float:
@@ -202,6 +207,11 @@ class ServingSimulation:
             per_request * self.server.effective_cpi
             / self.cluster.node.machine.freq_hz
         )
+        # Charged after the per-request demand is derived so the sample's
+        # instruction delta is untouched by the accounting itself.
+        ledger = CostLedger(self.cluster, ctx=ctx,
+                            cpi=self.server.effective_cpi)
+        ledger.charge("serve", cpu_seconds=service_seconds * n_sample)
         with ctx.span(f"serving:queueing:{self.server.name}",
                       category="serving") as sp:
             queueing = mm_c(
@@ -236,6 +246,7 @@ class ServingSimulation:
             hedges=hedges,
             failed_requests=failed,
             shed_rps=shed_rps,
+            cost=ledger.job,
         )
 
     def _replay(self, state, ctx) -> None:

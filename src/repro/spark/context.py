@@ -4,8 +4,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.cluster.ledger import CostLedger
 from repro.cluster.node import ClusterSpec, PAPER_CLUSTER
-from repro.cluster.timemodel import JobCost, PhaseCost
+from repro.cluster.timemodel import JobCost
 from repro.mapreduce.hdfs import DfsFile
 from repro.mapreduce.runtime import FrameworkOverhead, SPARK_OVERHEAD
 from repro.spark.rdd import RDD
@@ -41,7 +42,9 @@ class SparkContext:
         self.ctx = context_or_null(ctx)
         self.overhead = overhead
         self.default_parallelism = default_parallelism or cluster.num_nodes * 2
-        self.cost = JobCost()
+        #: Cumulative across the driver's lifetime: one phase per action.
+        self.ledger = CostLedger(cluster, ctx=self.ctx,
+                                 cpi=self.EFFECTIVE_CPI)
         self._disk_read = 0.0
         self._shuffle = 0.0
         self._cache_hits = 0.0
@@ -75,41 +78,43 @@ class SparkContext:
 
     # -- accounting --------------------------------------------------------------
 
+    @property
+    def cost(self) -> JobCost:
+        """The driver's accumulated job cost (one phase per action)."""
+        return self.ledger.job
+
     def _materialize(self, rdd: RDD) -> list:
         from repro.obs.metrics import METRICS
 
-        instr_before = self.ctx.events.instructions
         self._disk_read = 0.0
         self._shuffle = 0.0
-        with self.ctx.span(f"spark:action:{rdd.name}", category="spark") as sp:
-            with self.ctx.code(FRAMEWORK_STACK):
-                result = rdd._compute()
-                # Chaos: executors running this action may die; Spark
-                # recomputes the lost partitions from lineage (cached
-                # RDDs short-circuit, exactly as in the real scheduler).
-                faults = self.faults
-                if faults.enabled:
-                    site = f"spark:action:{rdd.name}"
-                    if faults.fires("task_crash", site) is not None:
-                        if faults.recovery:
-                            with self.ctx.span("recovery:lineage_recompute",
-                                               category="faults"):
-                                result = rdd._compute()
-                            faults.recovered("lineage_recompute", site)
-                        else:
-                            faults.lost("action_partitions", site)
-            sp.set("disk_read_bytes", self._disk_read)
-            sp.set("shuffle_bytes", self._shuffle)
-        instructions = self.ctx.events.instructions - instr_before
-        machine = self.cluster.node.machine
-        self.cost.add(PhaseCost(
-            name=f"action:{rdd.name}",
-            cpu_seconds=instructions * self.EFFECTIVE_CPI / machine.freq_hz,
-            disk_read_bytes=self._disk_read,
-            shuffle_bytes=self._shuffle,
-            working_bytes=self._shuffle,
-            fixed_seconds=self.ACTION_FIXED_SECONDS,
-        ))
+        with self.ledger.measured(
+                f"action:{rdd.name}",
+                fixed_seconds=self.ACTION_FIXED_SECONDS) as pending:
+            with self.ctx.span(f"spark:action:{rdd.name}",
+                               category="spark") as sp:
+                with self.ctx.code(FRAMEWORK_STACK):
+                    result = rdd._compute()
+                    # Chaos: executors running this action may die; Spark
+                    # recomputes the lost partitions from lineage (cached
+                    # RDDs short-circuit, exactly as in the real scheduler).
+                    faults = self.faults
+                    if faults.enabled:
+                        site = f"spark:action:{rdd.name}"
+                        if faults.fires("task_crash", site) is not None:
+                            if faults.recovery:
+                                with self.ctx.span(
+                                        "recovery:lineage_recompute",
+                                        category="faults"):
+                                    result = rdd._compute()
+                                faults.recovered("lineage_recompute", site)
+                            else:
+                                faults.lost("action_partitions", site)
+                sp.set("disk_read_bytes", self._disk_read)
+                sp.set("shuffle_bytes", self._shuffle)
+            pending.disk_read_bytes = self._disk_read
+            pending.shuffle_bytes = self._shuffle
+            pending.working_bytes = self._shuffle
         METRICS.counter("spark.actions").inc()
         METRICS.counter("spark.shuffle_bytes").inc(self._shuffle)
         METRICS.counter("spark.disk_read_bytes").inc(self._disk_read)

@@ -10,7 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.cluster.timemodel import JobCost, PhaseCost
+from repro.cluster.ledger import CostLedger
+from repro.cluster.timemodel import JobCost
 from repro.datagen.table import Table
 from repro.sql import operators
 from repro.sql.parser import Query, SqlError, parse
@@ -85,27 +86,21 @@ class SqlEngine:
 
         ctx = self.ctx
         stats = QueryStats()
-        cost = JobCost()
-        instr_before = ctx.events.instructions
-        with ctx.span("sql:query", category="sql") as sp:
-            with ctx.code(DATABASE_STACK):
-                result = self._execute(query, stats)
-            sp.set("rows_scanned", stats.rows_scanned)
-            sp.set("rows_out", result.num_rows)
+        ledger = CostLedger(self.cluster, ctx=ctx, cpi=self.EFFECTIVE_CPI)
+        with ledger.measured(
+                "query", fixed_seconds=self.QUERY_FIXED_SECONDS) as pending:
+            with ctx.span("sql:query", category="sql") as sp:
+                with ctx.code(DATABASE_STACK):
+                    result = self._execute(query, stats)
+                sp.set("rows_scanned", stats.rows_scanned)
+                sp.set("rows_out", result.num_rows)
+            pending.disk_read_bytes = stats.input_bytes
+            pending.working_bytes = stats.input_bytes
         METRICS.counter("sql.queries").inc()
         METRICS.counter("sql.rows_scanned").inc(stats.rows_scanned)
         METRICS.counter("sql.input_bytes").inc(stats.input_bytes)
-        instructions = ctx.events.instructions - instr_before
-        machine = self.cluster.node.machine
-        cost.add(PhaseCost(
-            name="query",
-            cpu_seconds=instructions * self.EFFECTIVE_CPI / machine.freq_hz,
-            disk_read_bytes=stats.input_bytes,
-            working_bytes=stats.input_bytes,
-            fixed_seconds=self.QUERY_FIXED_SECONDS,
-        ))
         stats.rows_out = result.num_rows
-        return QueryResult(table=result, stats=stats, cost=cost)
+        return QueryResult(table=result, stats=stats, cost=ledger.job)
 
     # -- internals ---------------------------------------------------------------
 

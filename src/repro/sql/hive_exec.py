@@ -21,8 +21,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.cluster.ledger import CostLedger
 from repro.cluster.node import ClusterSpec, PAPER_CLUSTER
-from repro.cluster.timemodel import JobCost
 from repro.datagen.table import Table
 from repro.mapreduce import Dfs, MapReduceJob, MapReduceRuntime, OpCost
 from repro.sql.engine import PAPER_TABLE_RATIO, QueryResult, QueryStats
@@ -182,15 +182,17 @@ class HiveExecutor:
 
     def run_plan(self, query: Query) -> QueryResult:
         stats = QueryStats()
-        cost = JobCost()
+        # The chained MapReduce jobs each charge their own ledger; this
+        # one just concatenates their phases into the query's JobCost.
+        ledger = CostLedger(self.cluster, ctx=self.ctx)
         if query.join is not None:
-            result = self._join_aggregate(query, stats, cost)
+            result = self._join_aggregate(query, stats, ledger)
         elif query.is_aggregate:
-            result = self._aggregate(query, stats, cost)
+            result = self._aggregate(query, stats, ledger)
         else:
-            result = self._select(query, stats, cost)
+            result = self._select(query, stats, ledger)
         stats.rows_out = result.num_rows
-        return QueryResult(table=result, stats=stats, cost=cost)
+        return QueryResult(table=result, stats=stats, cost=ledger.job)
 
     # -- plans -------------------------------------------------------------------
 
@@ -213,7 +215,8 @@ class HiveExecutor:
                               predicate.literal).mask(table)
         return mask
 
-    def _select(self, query: Query, stats: QueryStats, cost: JobCost) -> Table:
+    def _select(self, query: Query, stats: QueryStats,
+                ledger: CostLedger) -> Table:
         table, nbytes = self._lookup(query.table.name)
         stats.rows_scanned = table.num_rows
         stats.input_bytes = nbytes
@@ -227,11 +230,12 @@ class HiveExecutor:
                               table.num_rows, nbytes)
         job = _FilterJob(table.column(columns[0]).astype(np.float64), mask)
         result = self._runtime().run(job, file)
-        cost.phases.extend(result.cost.phases)
+        ledger.absorb(result.cost)
         rows = result.output_keys
         return Table("result", {c: table.column(c)[rows] for c in columns})
 
-    def _aggregate(self, query: Query, stats: QueryStats, cost: JobCost) -> Table:
+    def _aggregate(self, query: Query, stats: QueryStats,
+                   ledger: CostLedger) -> Table:
         table, nbytes = self._lookup(query.table.name)
         stats.rows_scanned = table.num_rows
         stats.input_bytes = nbytes
@@ -259,7 +263,7 @@ class HiveExecutor:
                              int(nbytes * mask.mean()) or 1)
             job = _AggregateJob(group_keys, values, aggregate.func)
             result = self._runtime().run(job, file)
-            cost.phases.extend(result.cost.phases)
+            ledger.absorb(result.cost)
             folded = result.output_values
             if group_col is None and len(folded) == 0:
                 # Empty relation, global aggregate: COUNT/SUM fold to 0,
@@ -279,7 +283,7 @@ class HiveExecutor:
         return Table("result", columns)
 
     def _join_aggregate(self, query: Query, stats: QueryStats,
-                        cost: JobCost) -> Table:
+                        ledger: CostLedger) -> Table:
         """JOIN keyed on the ON columns, then the aggregation job.
 
         Supports the suite's join shape: one aggregate over the fact
@@ -330,7 +334,7 @@ class HiveExecutor:
         file = dfs.put("hive:join-rows", np.arange(total_rows, dtype=np.int64),
                        left_bytes + right_bytes)
         joined = self._runtime().run(join_job, file)
-        cost.phases.extend(joined.cost.phases)
+        ledger.absorb(joined.cost)
         stats.rows_joined = len(joined.output_keys)
 
         # Job 2: group the joined pairs and fold.
@@ -341,7 +345,7 @@ class HiveExecutor:
         )
         agg_job = _AggregateJob(joined.output_keys, joined.output_values, "sum")
         result = self._runtime().run(agg_job, pair_file)
-        cost.phases.extend(result.cost.phases)
+        ledger.absorb(result.cost)
         group_name = query.group_by[0].replace(".", "_", 1) \
             if "." in query.group_by[0] else query.group_by[0]
         return Table("result", {

@@ -20,8 +20,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.cluster.ledger import CostLedger
 from repro.cluster.node import ClusterSpec, PAPER_CLUSTER
-from repro.cluster.timemodel import JobCost
 from repro.datagen.table import Table
 from repro.mapreduce.job import OpCost
 from repro.spark import SparkContext
@@ -83,9 +83,11 @@ class SharkExecutor:
         else:
             result = self._select(query, stats)
         stats.rows_out = result.num_rows
-        cost = JobCost()
-        cost.phases.extend(self.sc.cost.phases[cost_start:])
-        return QueryResult(table=result, stats=stats, cost=cost)
+        # The driver's ledger charged every action; slice off the phases
+        # belonging to this query.
+        ledger = CostLedger(self.cluster, ctx=self.ctx)
+        ledger.absorb(self.sc.cost.phases[cost_start:])
+        return QueryResult(table=result, stats=stats, cost=ledger.job)
 
     # -- internals ---------------------------------------------------------------
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cluster.node import ClusterSpec, PAPER_CLUSTER
-from repro.cluster.timemodel import JobCost, PhaseCost
+from repro.cluster.ledger import CostLedger
 from repro.core.workload import (
     ONLINE,
     OPS,
@@ -99,13 +99,15 @@ class _CloudOltpWorkload(Workload):
         io_seconds = disk_bytes_per_op / cluster.node.disk.seq_bandwidth
         service = cpu_seconds + io_seconds
         ops_per_second = cluster.total_cores / service if service > 0 else 0.0
-        cost = JobCost().add(PhaseCost(
-            name="ops",
+        ledger = CostLedger(cluster, cpi=STORE_CPI)
+        ledger.charge(
+            "ops",
             cpu_seconds=cpu_seconds * ops,
             disk_read_bytes=store.stats.block_read_bytes * BLOCK_MISS_FRACTION,
             disk_write_bytes=store.stats.wal_bytes + store.stats.compaction_bytes,
             working_bytes=store.total_bytes,
-        ))
+        )
+        cost = ledger.job
         details.update({
             "ops": ops,
             "instructions_per_op": per_op_instr,

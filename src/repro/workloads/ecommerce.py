@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cluster.node import ClusterSpec, PAPER_CLUSTER
-from repro.cluster.timemodel import JobCost
+from repro.cluster.ledger import CostLedger
 from repro.core.workload import (
     DPS,
     OFFLINE,
@@ -67,7 +67,7 @@ class RubisServerWorkload(Workload):
         outcome = sim.run(prepared.details["rate_rps"])
         return WorkloadResult(
             workload=self.info.name, stack=stack, scale=prepared.scale,
-            input_bytes=prepared.nbytes, cost=JobCost(),
+            input_bytes=prepared.nbytes, cost=outcome.cost,
             metric_name=RPS, metric_value=outcome.throughput_rps,
             details={"latency_s": outcome.mean_latency,
                      "utilization": outcome.queueing.utilization,
@@ -205,9 +205,8 @@ class CollaborativeFilteringWorkload(Workload):
             slicer=lambda payload, i, n: (np.array_split(payload[0], n)[i],
                                           np.array_split(payload[1], n)[i]),
         )
-        cost = JobCost()
-        cost.phases.extend(grouped.cost.phases)
-        cost.phases.extend(counted.cost.phases)
+        ledger = CostLedger(cluster)
+        cost = ledger.absorb(grouped.cost, counted.cost)
         total_cooccur = int(counted.output_values.sum())
         return WorkloadResult(
             workload=self.info.name, stack=stack, scale=prepared.scale,

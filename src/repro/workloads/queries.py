@@ -37,16 +37,16 @@ class _QueryWorkload(Workload):
 
     def _execute_repeated(self, engine, sql):
         """Run the query REPETITIONS times; return (last result, cost)."""
-        from repro.cluster.timemodel import JobCost
+        from repro.cluster.ledger import CostLedger
 
         result = None
-        cost = JobCost()
+        ledger = CostLedger(engine.cluster)
         total_bytes = 0.0
         for _ in range(self.REPETITIONS):
             result = engine.execute(sql)
-            cost.phases.extend(result.cost.phases)
+            ledger.absorb(result.cost)
             total_bytes += result.stats.input_bytes
-        return result, cost, total_bytes
+        return result, ledger.job, total_bytes
 
     def prepare(self, scale: int, seed: int = 0) -> WorkloadInput:
         self.check_scale(scale)

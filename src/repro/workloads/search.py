@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cluster.node import ClusterSpec, PAPER_CLUSTER
-from repro.cluster.timemodel import JobCost
+from repro.cluster.ledger import CostLedger
 from repro.core.workload import (
     DPS,
     OFFLINE,
@@ -69,7 +69,7 @@ class NutchServerWorkload(Workload):
         outcome = sim.run(prepared.details["rate_rps"])
         return WorkloadResult(
             workload=self.info.name, stack=stack, scale=prepared.scale,
-            input_bytes=prepared.nbytes, cost=JobCost(),
+            input_bytes=prepared.nbytes, cost=outcome.cost,
             metric_name=RPS, metric_value=outcome.throughput_rps,
             details={"latency_s": outcome.mean_latency,
                      "utilization": outcome.queueing.utilization,
@@ -263,7 +263,7 @@ class PageRankWorkload(Workload):
         ranks = np.full(n, 1.0 / n)
         out_deg = np.maximum(graph.out_degrees(), 1)
         dangling_mask = graph.out_degrees() == 0
-        cost = JobCost()
+        ledger = CostLedger(cluster)
         paper_nodes = 1_000_000 * max(1, graph.num_nodes // 4096)
         for _ in range(self.iterations):
             job = _PageRankIterationJob(ranks, out_deg, paper_nodes=paper_nodes)
@@ -272,8 +272,8 @@ class PageRankWorkload(Workload):
             incoming[result.output_keys] = result.output_values
             dangling = ranks[dangling_mask].sum()
             ranks = (1 - DAMPING) / n + DAMPING * (incoming + dangling / n)
-            cost.phases.extend(result.cost.phases)
-        return ranks, cost
+            ledger.absorb(result.cost)
+        return ranks, ledger.job
 
     def _run_spark(self, graph, nbytes, ctx, cluster):
         sc = SparkContext(cluster=cluster, ctx=ctx)

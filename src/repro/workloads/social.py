@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cluster.node import ClusterSpec, PAPER_CLUSTER
-from repro.cluster.timemodel import JobCost
+from repro.cluster.ledger import CostLedger
 from repro.core.workload import (
     DPS,
     OFFLINE,
@@ -67,7 +67,7 @@ class OlioServerWorkload(Workload):
         outcome = sim.run(prepared.details["rate_rps"])
         return WorkloadResult(
             workload=self.info.name, stack=stack, scale=prepared.scale,
-            input_bytes=prepared.nbytes, cost=JobCost(),
+            input_bytes=prepared.nbytes, cost=outcome.cost,
             metric_name=RPS, metric_value=outcome.throughput_rps,
             details={"latency_s": outcome.mean_latency,
                      "utilization": outcome.queueing.utilization,
@@ -213,13 +213,13 @@ class KmeansWorkload(Workload):
     def _run_hadoop(self, points, nbytes, centroids, ctx, cluster):
         runtime = MapReduceRuntime(cluster=cluster, ctx=ctx)
         file = Dfs().put("kmeans:points", points, nbytes)
-        cost = JobCost()
+        ledger = CostLedger(cluster)
         for _ in range(self.iterations):
             job = _KmeansIterationJob(centroids)
             result = runtime.run(job, file)
             centroids = job.new_centroids()
-            cost.phases.extend(result.cost.phases)
-        return centroids, cost
+            ledger.absorb(result.cost)
+        return centroids, ledger.job
 
     def _run_spark(self, points, nbytes, centroids, ctx, cluster):
         sc = SparkContext(cluster=cluster, ctx=ctx)
@@ -479,17 +479,17 @@ class ConnectedComponentsWorkload(Workload):
         file = Dfs().put("cc:edges", graph.edges, nbytes)
         labels = np.arange(graph.num_nodes, dtype=np.int64)
         paper_vertices = (1 << 15) * max(1, graph.num_nodes // (1 << 13))
-        cost = JobCost()
+        ledger = CostLedger(cluster)
         for _ in range(self.MAX_ITERATIONS):
             job = _CcIterationJob(labels, paper_vertices=paper_vertices)
             result = runtime.run(job, file)
-            cost.phases.extend(result.cost.phases)
+            ledger.absorb(result.cost)
             proposed = labels.copy()
             np.minimum.at(proposed, result.output_keys, result.output_values)
             if np.array_equal(proposed, labels):
                 break
             labels = proposed
-        return labels, cost
+        return labels, ledger.job
 
     def _run_spark(self, graph, nbytes, ctx, cluster):
         sc = SparkContext(cluster=cluster, ctx=ctx)

@@ -1,0 +1,84 @@
+"""Unit tests for the shared CostLedger charging API."""
+
+import pytest
+
+from repro.cluster import CostLedger, JobCost, PAPER_CLUSTER, PhaseCost
+from repro.obs.metrics import METRICS
+from repro.uarch import PerfContext, XEON_E5645
+
+
+class TestCharge:
+    def test_charge_appends_phase(self):
+        ledger = CostLedger(PAPER_CLUSTER)
+        phase = ledger.charge("map", cpu_seconds=2.0,
+                              disk_read_bytes=100.0, shuffle_bytes=50.0)
+        assert ledger.job.phases == [phase]
+        assert phase.name == "map"
+        assert phase.cpu_seconds == 2.0
+        assert phase.shuffle_bytes == 50.0
+
+    def test_instructions_convert_via_cpi_and_reference_clock(self):
+        ledger = CostLedger(PAPER_CLUSTER, cpi=1.1)
+        phase = ledger.charge("map", instructions=1e9)
+        machine = PAPER_CLUSTER.node.machine
+        assert phase.cpu_seconds == 1e9 * 1.1 / machine.freq_hz
+
+    def test_cpi_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CostLedger(PAPER_CLUSTER, cpi=0.0)
+
+    def test_charge_notes_metrics(self):
+        before = METRICS.counter("cluster.charged.phases").value
+        CostLedger(PAPER_CLUSTER).charge("x", cpu_seconds=1.0)
+        assert METRICS.counter("cluster.charged.phases").value == before + 1
+
+
+class TestMeasured:
+    def test_measured_captures_instruction_delta(self):
+        ctx = PerfContext(XEON_E5645)
+        ledger = CostLedger(PAPER_CLUSTER, ctx=ctx, cpi=1.0)
+        with ledger.measured("work") as pending:
+            ctx.int_ops(1_000_000)
+            pending.disk_read_bytes = 64.0
+        [phase] = ledger.phases
+        assert phase.cpu_seconds > 0
+        assert phase.disk_read_bytes == 64.0
+
+    def test_measured_opens_wave_span(self):
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer("test")
+        ctx = PerfContext(XEON_E5645, tracer=tracer)
+        with ctx.span("root"):
+            ledger = CostLedger(PAPER_CLUSTER, ctx=ctx)
+            with ledger.measured("map"):
+                ctx.int_ops(1000)
+        names = {span.name for span in tracer.finish().walk()}
+        assert "wave:map" in names
+
+    def test_fields_seed_the_pending_phase(self):
+        ledger = CostLedger(PAPER_CLUSTER)
+        with ledger.measured("job", fixed_seconds=32.0) as pending:
+            assert pending.fixed_seconds == 32.0
+        assert ledger.phases[0].fixed_seconds == 32.0
+
+
+class TestAbsorb:
+    def test_absorb_merges_inner_job_costs(self):
+        inner = JobCost().add(PhaseCost(name="map", cpu_seconds=1.0))
+        other = JobCost().add(PhaseCost(name="reduce", cpu_seconds=2.0))
+        ledger = CostLedger(PAPER_CLUSTER)
+        job = ledger.absorb(inner, other)
+        assert [p.name for p in job.phases] == ["map", "reduce"]
+
+    def test_absorb_accepts_phase_iterables(self):
+        phases = [PhaseCost(name="a"), PhaseCost(name="b")]
+        ledger = CostLedger(PAPER_CLUSTER)
+        ledger.absorb(phases[1:])
+        assert [p.name for p in ledger.phases] == ["b"]
+
+    def test_absorb_does_not_renote_metrics(self):
+        inner = JobCost().add(PhaseCost(name="map", cpu_seconds=1.0))
+        before = METRICS.counter("cluster.charged.phases").value
+        CostLedger(PAPER_CLUSTER).absorb(inner)
+        assert METRICS.counter("cluster.charged.phases").value == before

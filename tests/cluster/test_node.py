@@ -2,7 +2,17 @@
 
 import pytest
 
-from repro.cluster import ClusterSpec, DiskSpec, NicSpec, NodeSpec, PAPER_CLUSTER
+from repro.cluster import (
+    CLUSTERS,
+    ClusterSpec,
+    DiskSpec,
+    E5310_NODE,
+    MIXED_CLUSTER,
+    NicSpec,
+    NodeSpec,
+    PAPER_CLUSTER,
+    resolve_cluster,
+)
 
 GB = 1024 ** 3
 
@@ -35,3 +45,33 @@ class TestSpecs:
             DiskSpec(seq_bandwidth=0)
         with pytest.raises(ValueError):
             NicSpec(bandwidth=-1)
+        with pytest.raises(ValueError):
+            ClusterSpec(extra_nodes=("not-a-node",))
+
+
+class TestHeterogeneous:
+    def test_homogeneous_by_default(self):
+        assert not PAPER_CLUSTER.is_heterogeneous
+        assert PAPER_CLUSTER.total_nodes == PAPER_CLUSTER.num_nodes
+        assert len(PAPER_CLUSTER.nodes) == 14
+
+    def test_mixed_cluster_appends_the_e5310(self):
+        assert MIXED_CLUSTER.is_heterogeneous
+        assert MIXED_CLUSTER.total_nodes == 15
+        assert MIXED_CLUSTER.nodes[14] is E5310_NODE
+        assert MIXED_CLUSTER.nodes[0].machine.name == "Intel Xeon E5645"
+        assert E5310_NODE.machine.name == "Intel Xeon E5310"
+
+    def test_aggregates_sum_over_extra_nodes(self):
+        assert MIXED_CLUSTER.total_cores == (
+            PAPER_CLUSTER.total_cores + E5310_NODE.cores)
+        assert MIXED_CLUSTER.total_memory_bytes == (
+            PAPER_CLUSTER.total_memory_bytes + E5310_NODE.memory_bytes)
+
+    def test_presets_resolve_by_name(self):
+        assert set(CLUSTERS) == {"paper", "single", "mixed"}
+        assert resolve_cluster("paper") is PAPER_CLUSTER
+        assert resolve_cluster("MIXED") is MIXED_CLUSTER
+        assert resolve_cluster(PAPER_CLUSTER) is PAPER_CLUSTER
+        with pytest.raises(ValueError):
+            resolve_cluster("warehouse")

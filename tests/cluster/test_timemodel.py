@@ -105,3 +105,57 @@ class TestJobTime:
         baseline = sort_job(32)
         at_32x = sort_job(32 * 32)
         assert at_32x < baseline
+
+
+class TestModelFields:
+    """The fudge knobs are TimeModel fields, not monkeypatched globals."""
+
+    def test_defaults_match_module_constants(self):
+        from repro.cluster.timemodel import (
+            CONGESTION_COEFF, CPU_EFFICIENCY, OVERLAP_RESIDUE, SPILL_PASSES,
+        )
+
+        tm = model()
+        assert tm.cpu_efficiency == CPU_EFFICIENCY
+        assert tm.overlap_residue == OVERLAP_RESIDUE
+        assert tm.spill_passes == SPILL_PASSES
+        assert tm.congestion_coeff == CONGESTION_COEFF
+        assert tm.mode == "analytic"
+
+    def test_cpu_efficiency_scales_cpu_time(self):
+        half = TimeModel(cpu_efficiency=0.5)
+        full = TimeModel(cpu_efficiency=1.0)
+        phase = PhaseCost(cpu_seconds=1000.0)
+        assert half.phase_time(phase).cpu == pytest.approx(
+            2.0 * full.phase_time(phase).cpu)
+
+    def test_overlap_residue_zero_means_perfect_overlap(self):
+        tm = TimeModel(overlap_residue=0.0)
+        both = tm.phase_time(PhaseCost(cpu_seconds=5000.0,
+                                       disk_read_bytes=10 * GB))
+        assert both.total == pytest.approx(max(both.cpu, both.disk))
+
+    def test_spill_passes_scales_spill_time(self):
+        cluster = ClusterSpec(num_nodes=2)
+        phase = PhaseCost(working_bytes=200 * GB)
+        light = TimeModel(cluster, spill_passes=1.0).phase_time(phase).spill
+        heavy = TimeModel(cluster, spill_passes=3.0).phase_time(phase).spill
+        assert heavy == pytest.approx(3.0 * light)
+
+    def test_congestion_coeff_zero_makes_shuffle_linear(self):
+        tm = TimeModel(congestion_coeff=0.0)
+        t1 = tm.phase_time(PhaseCost(shuffle_bytes=500 * GB)).network
+        t2 = tm.phase_time(PhaseCost(shuffle_bytes=1000 * GB)).network
+        assert t2 == pytest.approx(2.0 * t1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimeModel(mode="quantum")
+        with pytest.raises(ValueError):
+            TimeModel(cpu_efficiency=0.0)
+        with pytest.raises(ValueError):
+            TimeModel(cpu_efficiency=1.5)
+        with pytest.raises(ValueError):
+            TimeModel(overlap_residue=-0.1)
+        with pytest.raises(ValueError):
+            TimeModel(data_scale=0.0)

@@ -11,8 +11,12 @@ class TestParser:
         actions = parser._subparsers._group_actions[0].choices
         assert set(actions) == {
             "list", "run", "sweep", "table", "figure", "roofline", "rank",
-            "export", "trace", "metrics", "chaos", "artifacts",
+            "export", "trace", "metrics", "chaos", "artifacts", "cluster",
         }
+
+    def test_figure_takes_machine(self):
+        args = build_parser().parse_args(["figure", "2", "--machine", "E5310"])
+        assert args.machine == "E5310"
 
     def test_run_defaults(self):
         args = build_parser().parse_args(["run", "Grep"])
@@ -96,6 +100,32 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "DIVERGED" in out
         assert "work lost" in out
+
+    def test_cluster_ls(self, capsys):
+        assert main(["cluster", "ls"]) == 0
+        out = capsys.readouterr().out
+        assert "paper" in out
+        assert "mixed" in out
+        assert "single" in out
+
+    def test_cluster_show_mixed(self, capsys):
+        assert main(["cluster", "show", "mixed"]) == 0
+        out = capsys.readouterr().out
+        assert "heterogeneous" in out
+        assert "E5310" in out
+
+    def test_cluster_show_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["cluster", "show", "warehouse"])
+
+    def test_run_on_cluster_preset(self, capsys):
+        assert main(["run", "Grep", "--cluster", "mixed", "--no-cache",
+                     "--no-artifacts"]) == 0
+        assert "correct: True" in capsys.readouterr().out
+
+    def test_run_unknown_cluster(self):
+        with pytest.raises(SystemExit):
+            main(["run", "Grep", "--cluster", "warehouse"])
 
     def test_artifacts_ls_gc_path(self, tmp_path, capsys):
         import numpy as np
