@@ -11,17 +11,15 @@ Two perf claims from the artifact-store work, measured honestly:
    exact edge count, no self-loops, heavy-tailed degrees.
 
 Results are emitted as a JSON document (one object per leg) so perf can
-be tracked across commits; set ``REPRO_BENCH_JSON`` to also write it to
-a file.
+be tracked across commits; set ``REPRO_BENCH_DIR`` (or the legacy
+``REPRO_BENCH_JSON``) to also write them to files.
 """
 
-import json
-import os
 import time
 
 import numpy as np
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, emit_json
 from repro.core.artifacts import ArtifactStore
 from repro.core.harness import Harness
 from repro.core.report import render_table
@@ -42,15 +40,6 @@ def _prepare_all(store) -> float:
     return time.perf_counter() - start
 
 
-def _emit_json(payload: dict) -> None:
-    text = json.dumps(payload, indent=2, sort_keys=True)
-    emit(text)
-    out = os.environ.get("REPRO_BENCH_JSON")
-    if out:
-        with open(out, "w", encoding="utf-8") as handle:
-            handle.write(text + "\n")
-
-
 def test_cold_vs_warm_artifact_prepare(benchmark, tmp_path):
     store = ArtifactStore(root=str(tmp_path / "artifacts"))
 
@@ -69,7 +58,7 @@ def test_cold_vs_warm_artifact_prepare(benchmark, tmp_path):
         ],
         title=f"Suite input preparation ({len(PREPARE_SUITE)} workloads)",
     ))
-    _emit_json({
+    emit_json({
         "bench": "artifact_prepare",
         "workloads": PREPARE_SUITE,
         "cold_seconds": cold_seconds,
@@ -77,7 +66,7 @@ def test_cold_vs_warm_artifact_prepare(benchmark, tmp_path):
         "speedup": speedup,
         "store_hits": store.hits,
         "store_misses": store.misses,
-    })
+    }, "artifact_prepare")
     # The acceptance bar: warm preparation at least 2x faster than cold.
     assert warm_seconds * 2 <= cold_seconds, (
         f"warm {warm_seconds:.3f}s vs cold {cold_seconds:.3f}s")
@@ -138,7 +127,7 @@ def test_vectorized_preferential_attachment(benchmark):
         ],
         title=f"preferential_attachment({num_nodes}, k={k})",
     ))
-    _emit_json({
+    emit_json({
         "bench": "preferential_attachment",
         "num_nodes": num_nodes,
         "edges_per_node": k,
@@ -146,6 +135,6 @@ def test_vectorized_preferential_attachment(benchmark):
         "scalar_seconds": scalar_seconds,
         "vectorized_seconds": vector_seconds,
         "speedup": speedup,
-    })
+    }, "preferential_attachment")
     assert vector_seconds * 2 <= scalar_seconds, (
         f"vectorized {vector_seconds:.3f}s vs scalar {scalar_seconds:.3f}s")

@@ -5,6 +5,9 @@ Harnesses are session-scoped so the figure benches share memoized runs
 feeds Figures 4-6).
 """
 
+import json
+import os
+
 import pytest
 
 from repro.core.harness import Harness
@@ -27,3 +30,25 @@ def emit(benchmark_output: str) -> None:
     """Print a regenerated table/figure under the bench output."""
     print()
     print(benchmark_output)
+
+
+def emit_json(doc: dict, name: str) -> None:
+    """Print ``doc`` and persist it for cross-commit perf tracking.
+
+    ``REPRO_BENCH_DIR=<dir>`` writes ``<dir>/<name>.json`` (one file per
+    bench document -- what CI uploads as an artifact); the older
+    single-file ``REPRO_BENCH_JSON=<path>`` convention still works but
+    benches emitting several documents overwrite it in turn.
+    """
+    text = json.dumps(doc, indent=2, sort_keys=True)
+    emit(text)
+    out_dir = os.environ.get("REPRO_BENCH_DIR")
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+        path = os.path.join(out_dir, f"{name}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    legacy = os.environ.get("REPRO_BENCH_JSON")
+    if legacy:
+        with open(legacy, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")

@@ -272,10 +272,15 @@ def cmd_cluster(args) -> None:
         names = [args.name] if args.name else sorted(CLUSTERS)
         for name in names:
             spec = _cluster(name)
+            if getattr(args, "nodes", None):
+                spec = spec.scaled(args.nodes)
             rows = []
-            for index, node in enumerate(spec.nodes):
+            # Identical consecutive nodes collapse into one row, so a
+            # 1000-node rack prints one line, not a thousand.
+            for first, last, node in _node_groups(spec):
+                label = str(first) if first == last else f"{first}-{last}"
                 rows.append([
-                    index, node.machine.name, node.cores,
+                    label, node.machine.name, node.cores,
                     f"{node.machine.freq_hz / 1e9:.2f}",
                     f"{node.memory_bytes / GB:.0f}",
                     f"{node.disk.seq_bandwidth / (1 << 20):.0f}",
@@ -286,6 +291,7 @@ def cmd_cluster(args) -> None:
                 ["Node", "Machine", "Cores", "GHz", "RAM GB",
                  "Disk MB/s", "NIC MB/s"], rows,
                 title=f"cluster {name!r}: {spec.total_nodes} nodes ({kind})"))
+            _show_replay(spec)
         return
     # ls (default): one row per preset.
     rows = []
@@ -301,6 +307,47 @@ def cmd_cluster(args) -> None:
     print(render_table(
         ["Preset", "Nodes", "Cores", "RAM GB", "Machines", "Mixed"], rows,
         title="cluster presets (--cluster NAME)"))
+
+
+def _node_groups(spec):
+    """Runs of consecutive identical nodes as (first, last, node)."""
+    groups = []
+    for index, node in enumerate(spec.nodes):
+        if groups and groups[-1][2] == node:
+            groups[-1][1] = index
+        else:
+            groups.append([index, index, node])
+    return [tuple(g) for g in groups]
+
+
+def _show_replay(spec) -> None:
+    """Event-replay utilization table for a sample MapReduce-shaped cost
+    sized to the cluster (the ``repro cluster show`` footer)."""
+    from repro.cluster.sim import ClusterSim, sample_job
+
+    result = ClusterSim(spec).run(sample_job(spec))
+    rows = []
+    for phase in result.phases:
+        rows.append([
+            phase.name, f"{phase.start:.1f}", f"{phase.end:.1f}",
+            f"{phase.seconds:.1f}", phase.tasks, phase.straggled,
+            phase.remote_tasks,
+            f"{phase.spill_bytes / (1 << 30):.1f}",
+        ])
+    print(render_table(
+        ["Phase", "Start s", "End s", "Seconds", "Tasks", "Straggled",
+         "Remote", "Spill GB"], rows,
+        title=f"event replay of a sample job: {result.seconds:.1f} s "
+              f"makespan"))
+    count = len(result.nodes)
+    for label, values in (
+            ("cpu", [u.cpu_utilization for u in result.nodes]),
+            ("disk", [u.disk_utilization for u in result.nodes]),
+            ("net", [u.net_utilization for u in result.nodes])):
+        mean = sum(values) / count
+        print(f"  {label:>4} util: mean {mean:5.1%}  "
+              f"min {min(values):5.1%}  max {max(values):5.1%}  "
+              f"({count} nodes)")
 
 
 def cmd_table(args) -> None:
@@ -505,7 +552,12 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["ls", "show"],
                          help="ls = list presets; show = per-node detail")
     cluster.add_argument("name", nargs="?", default=None,
-                         help="preset to show (default: all)")
+                         help="preset to show (default: all); a ':N' "
+                              "suffix overrides the node count "
+                              "(e.g. paper:100)")
+    cluster.add_argument("--nodes", type=int, default=None, metavar="N",
+                         help="rescale the preset to N rack nodes "
+                              "before showing it")
     cluster.set_defaults(fn=cmd_cluster)
 
     roofline = sub.add_parser("roofline", help="roofline placement")

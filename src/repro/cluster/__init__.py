@@ -23,7 +23,13 @@ from repro.cluster.node import (
     SINGLE_NODE,
     resolve_cluster,
 )
-from repro.cluster.sim import ClusterSim, NodeUsage, SimPhase, SimResult
+from repro.cluster.sim import (
+    ClusterSim,
+    NodeUsage,
+    SimPhase,
+    SimResult,
+    sample_job,
+)
 from repro.cluster.timemodel import JobCost, PhaseCost, PhaseTime, TimeModel
 
 __all__ = [
@@ -46,4 +52,5 @@ __all__ = [
     "SINGLE_NODE",
     "TimeModel",
     "resolve_cluster",
+    "sample_job",
 ]

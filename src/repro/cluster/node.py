@@ -120,6 +120,18 @@ class ClusterSpec:
     def aggregate_network_bandwidth(self) -> float:
         return sum(node.nic.bandwidth for node in self.nodes)
 
+    def scaled(self, num_nodes: int) -> "ClusterSpec":
+        """The same node hardware resized to ``num_nodes`` rack nodes.
+
+        Autoscaling sweeps (10 -> 1000 nodes) vary cluster *size* while
+        holding the node model fixed, so scaling targets the homogeneous
+        base rack: heterogeneous ``extra_nodes`` are dropped.
+        """
+        num_nodes = int(num_nodes)
+        if num_nodes <= 0:
+            raise ValueError("scaled() needs a positive node count")
+        return ClusterSpec(node=self.node, num_nodes=num_nodes)
+
 
 #: The paper's testbed: 14 dual-E5645 nodes (Section 6.1).
 PAPER_CLUSTER = ClusterSpec(node=NodeSpec(), num_nodes=14)
@@ -147,11 +159,29 @@ CLUSTERS = {
 
 
 def resolve_cluster(name) -> ClusterSpec:
-    """Map a preset name (or a ready ClusterSpec) to a ClusterSpec."""
+    """Map a preset name (or a ready ClusterSpec) to a ClusterSpec.
+
+    A ``:N`` suffix overrides the node count via :meth:`ClusterSpec.scaled`
+    -- ``"paper:100"`` is the paper's node hardware in a 100-node rack, so
+    autoscaling sweeps are expressible from any ``--cluster`` flag.
+    """
     if isinstance(name, ClusterSpec):
         return name
+    text = str(name).lower()
+    base, sep, count = text.partition(":")
     try:
-        return CLUSTERS[str(name).lower()]
+        spec = CLUSTERS[base]
     except KeyError:
         known = ", ".join(sorted(CLUSTERS))
-        raise ValueError(f"unknown cluster {name!r}; known presets: {known}")
+        raise ValueError(f"unknown cluster {name!r}; known presets: {known} "
+                         f"(append ':N' to override the node count)")
+    if not sep:
+        return spec
+    try:
+        nodes = int(count)
+        if nodes <= 0:
+            raise ValueError
+    except ValueError:
+        raise ValueError(f"bad node-count override in {name!r}: "
+                         f"expected '<preset>:<positive int>'")
+    return spec.scaled(nodes)

@@ -37,15 +37,28 @@ fault plan).  No RNG is consumed, no dict iteration order is observable,
 and ties break on node index -- serial and ``jobs=N`` runs are
 bit-identical (tested in ``tests/cluster/test_sim.py``).
 
-The simulator emits ``cluster.sim.*`` / ``cluster.node.*`` metrics and,
-when given a profiling context, ``sim:phase:*`` spans as a side effect
-of running.
+Two interchangeable engines replay these semantics.  The per-task loop
+in this module is the *scalar reference*; the default ``"vector"``
+engine (:mod:`repro.cluster.vector`) batches the same arithmetic with
+numpy kernels and is bit-identical to it -- same ``SimResult.seconds``,
+phases, and node usage (gated in ``tests/cluster/test_sim_vectorized``).
+``REPRO_SCALAR_SIM=1`` (or ``engine="scalar"``) selects the reference;
+the vector engine additionally records a structured-array event log
+exposed via :attr:`SimResult.events`.
+
+The simulator emits ``cluster.sim.*`` metrics and, when given a
+profiling context, ``sim:phase:*`` spans as a side effect of running.
+Per-node ``cluster.node.<i>.*_util`` gauges are emitted only up to
+:data:`NODE_GAUGE_LIMIT` total nodes; the always-on
+``cluster.sim.node_util.*`` histograms keep utilization observable with
+O(1) metric cardinality at any scale.
 """
 
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 
 from repro.cluster.node import ClusterSpec, NodeSpec, PAPER_CLUSTER
 from repro.cluster.timemodel import JobCost, PhaseCost, SPILL_PASSES
@@ -65,6 +78,12 @@ STRAGGLER_TAIL = 0.5
 
 #: HDFS block replication factor (mirrors repro.mapreduce.hdfs).
 REPLICATION = 3
+
+#: Above this many total nodes, per-node ``cluster.node.<i>.*_util``
+#: gauges are suppressed (3xN series pollute ``repro metrics`` at sweep
+#: scale); the ``cluster.sim.node_util.*`` histograms always record the
+#: same utilizations in bounded form.  Override: REPRO_NODE_GAUGE_LIMIT.
+NODE_GAUGE_LIMIT = int(os.environ.get("REPRO_NODE_GAUGE_LIMIT", "32"))
 
 
 def _unit(seed: int, site: str) -> float:
@@ -162,18 +181,59 @@ class NodeUsage:
 
 @dataclass(frozen=True)
 class SimResult:
-    """Outcome of one event-driven replay."""
+    """Outcome of one event-driven replay.
+
+    ``arena`` is the vector engine's event log (None on the scalar
+    reference path): one record per simulated task, packed lazily into
+    a structured numpy array by :attr:`events` / :meth:`phase_events`.
+    """
 
     seconds: float
     phases: tuple
     nodes: tuple
     killed: tuple = ()
+    arena: object = field(default=None, repr=False, compare=False)
 
     def phase(self, name: str) -> SimPhase:
         for phase in self.phases:
             if phase.name == name:
                 return phase
         raise KeyError(f"no simulated phase named {name!r}")
+
+    @property
+    def events(self):
+        """The whole run's task events as one structured array
+        (fields: node, slot, read/compute/write start+end, straggle,
+        straggled, remote) -- vector engine only."""
+        if self.arena is None:
+            raise RuntimeError(
+                "no event arena: the scalar reference engine does not "
+                "record events (rerun without REPRO_SCALAR_SIM)")
+        return self.arena.pack()
+
+    def phase_events(self, name: str):
+        """Event records of the phase named ``name``."""
+        if self.arena is None:
+            raise RuntimeError(
+                "no event arena: the scalar reference engine does not "
+                "record events (rerun without REPRO_SCALAR_SIM)")
+        return self.arena.phase_events(name)
+
+
+def node_usage(index: int, spec: NodeSpec, busy_cpu: float, busy_disk: float,
+               busy_net: float, makespan: float) -> NodeUsage:
+    """Fold one node's busy seconds into a :class:`NodeUsage` record
+    (shared by the scalar and vector engines)."""
+    span = max(makespan, 1e-12)
+    return NodeUsage(
+        index=index, name=spec.name, cores=spec.cores,
+        busy_cpu_seconds=busy_cpu,
+        busy_disk_seconds=busy_disk,
+        busy_net_seconds=busy_net,
+        cpu_utilization=busy_cpu / (span * spec.cores),
+        disk_utilization=busy_disk / span,
+        net_utilization=busy_net / (2.0 * span),
+    )
 
 
 class ClusterSim:
@@ -183,23 +243,35 @@ class ClusterSim:
     ``faults`` (a :class:`~repro.faults.inject.FaultInjector` or None)
     supplies node kills and per-node ``slow_disk``/``slow_nic`` resource
     modifiers; ``ctx`` (optional profiling context) receives
-    ``sim:phase:*`` spans.
+    ``sim:phase:*`` spans; ``engine`` picks the replay implementation --
+    ``"vector"`` (numpy batch kernels, the default) or ``"scalar"`` (the
+    per-task reference loop in this module), both bit-identical.  The
+    ``REPRO_SCALAR_SIM=1`` environment variable flips the default to the
+    scalar reference.
     """
 
     def __init__(self, cluster: ClusterSpec = PAPER_CLUSTER,
                  data_scale: float = 1.0, seed: int = 0,
-                 spill_passes: float = SPILL_PASSES, faults=None, ctx=None):
+                 spill_passes: float = SPILL_PASSES, faults=None, ctx=None,
+                 engine: str = None):
         from repro.faults.inject import NULL_FAULTS
         from repro.uarch.perfctx import context_or_null
 
         if data_scale <= 0:
             raise ValueError("data_scale must be positive")
+        if engine is None:
+            scalar = os.environ.get("REPRO_SCALAR_SIM", "") not in ("", "0")
+            engine = "scalar" if scalar else "vector"
+        if engine not in ("scalar", "vector"):
+            raise ValueError(f"unknown sim engine {engine!r}: "
+                             f"expected 'scalar' or 'vector'")
         self.cluster = cluster
         self.data_scale = data_scale
         self.seed = int(seed)
         self.spill_passes = spill_passes
         self.faults = faults if faults is not None else NULL_FAULTS
         self.ctx = context_or_null(ctx)
+        self.engine = engine
 
     def run(self, job: JobCost) -> SimResult:
         from repro.obs.metrics import METRICS
@@ -208,6 +280,34 @@ class ClusterSim:
         killed = tuple(
             index for index in range(len(specs))
             if self.faults.enabled and self.faults.node_killed(index))
+        if self.engine == "vector":
+            from repro.cluster.vector import VectorEngine
+
+            result = VectorEngine(self, killed).run(job)
+        else:
+            result = self._run_scalar(job, killed)
+
+        METRICS.counter("cluster.sim.runs").inc()
+        METRICS.histogram("cluster.sim.seconds").observe(result.seconds)
+        emit_gauges = len(specs) <= NODE_GAUGE_LIMIT
+        cpu = METRICS.histogram("cluster.sim.node_util.cpu")
+        disk = METRICS.histogram("cluster.sim.node_util.disk")
+        net = METRICS.histogram("cluster.sim.node_util.net")
+        for record in result.nodes:
+            cpu.observe(record.cpu_utilization)
+            disk.observe(record.disk_utilization)
+            net.observe(record.net_utilization)
+            if emit_gauges:
+                prefix = f"cluster.node.{record.index}"
+                METRICS.gauge(f"{prefix}.cpu_util").set(record.cpu_utilization)
+                METRICS.gauge(f"{prefix}.disk_util").set(
+                    record.disk_utilization)
+                METRICS.gauge(f"{prefix}.net_util").set(record.net_utilization)
+        return result
+
+    def _run_scalar(self, job: JobCost, killed: tuple) -> SimResult:
+        """The per-task reference loop (``REPRO_SCALAR_SIM=1``)."""
+        specs = self.cluster.nodes
         nodes = [
             _SimNode(index, spec,
                      disk_factor=self._modifier("slow_disk", index),
@@ -234,13 +334,6 @@ class ClusterSim:
 
         makespan = now
         usage = tuple(self._usage(node, makespan) for node in nodes)
-        METRICS.counter("cluster.sim.runs").inc()
-        METRICS.histogram("cluster.sim.seconds").observe(makespan)
-        for record in usage:
-            prefix = f"cluster.node.{record.index}"
-            METRICS.gauge(f"{prefix}.cpu_util").set(record.cpu_utilization)
-            METRICS.gauge(f"{prefix}.disk_util").set(record.disk_utilization)
-            METRICS.gauge(f"{prefix}.net_util").set(record.net_utilization)
         return SimResult(seconds=makespan, phases=tuple(phases), nodes=usage,
                          killed=killed)
 
@@ -391,13 +484,28 @@ class ClusterSim:
         return factor
 
     def _usage(self, node: _SimNode, makespan: float) -> NodeUsage:
-        span = max(makespan, 1e-12)
-        return NodeUsage(
-            index=node.index, name=node.spec.name, cores=len(node.cores),
-            busy_cpu_seconds=node.busy_cpu,
-            busy_disk_seconds=node.busy_disk,
-            busy_net_seconds=node.busy_net,
-            cpu_utilization=node.busy_cpu / (span * len(node.cores)),
-            disk_utilization=node.busy_disk / span,
-            net_utilization=node.busy_net / (2.0 * span),
-        )
+        return node_usage(node.index, node.spec, node.busy_cpu,
+                          node.busy_disk, node.busy_net, makespan)
+
+
+def sample_job(cluster: ClusterSpec) -> JobCost:
+    """A representative MapReduce-shaped cost sized to ``cluster``.
+
+    Per-node shares are held fixed (about the paper Sort point per rack
+    node) so the replay keeps comparable utilization from 1 to 1000
+    nodes -- this is what ``repro cluster show`` replays for its
+    utilization table.
+    """
+    per_node = 20 * 1024 ** 3  # input bytes per node
+    scale = cluster.total_nodes * per_node
+    return JobCost().add(
+        PhaseCost(name="setup", fixed_seconds=10.0),
+    ).add(
+        PhaseCost(name="map", cpu_seconds=280.0 * cluster.total_nodes,
+                  disk_read_bytes=scale, disk_write_bytes=scale // 2,
+                  shuffle_bytes=scale // 3, working_bytes=scale // 2),
+    ).add(
+        PhaseCost(name="reduce", cpu_seconds=110.0 * cluster.total_nodes,
+                  disk_read_bytes=scale // 2, disk_write_bytes=scale,
+                  working_bytes=scale // 4),
+    )

@@ -1,0 +1,590 @@
+"""Vectorized event plane: numpy batch kernels for :class:`ClusterSim`.
+
+The scalar reference implementation in :mod:`repro.cluster.sim` walks
+O(TASK_WAVES x slots) per-task loops and O(n^2) pairwise shuffle flows in
+pure Python, which makes a 1000-node replay thousands of times costlier
+than the 15-node paper preset.  This module replays the same semantics
+with batch kernels over flat numpy state and is **bit-identical** to the
+scalar path (same ``SimResult.seconds``, phases, and node usage --
+gated in ``tests/cluster/test_sim_vectorized.py``).
+
+Bit-identity is an IEEE-754 argument, not a tolerance: every float the
+scalar path produces is the result of a specific sequence of exactly
+rounded +, *, /, and max operations, and the kernels below perform the
+*same operations on the same operands in the same per-accumulator
+order*, just batched across nodes:
+
+* a phase barrier clamps every per-node resource clock to the phase
+  start, and every resource time within a phase stays <= the phase end
+  -- so each phase opens with *uniform* state and the replay is
+  phase-local (only the busy-time accumulators, ``compute_end``, and
+  the killed set carry across phases);
+* straggler variates are blake2b hashes of ``seed|site`` exactly as the
+  scalar ``_unit`` computes them, batched over a prebuilt site array
+  (the eighth-power shaping stays per-element Python ``**`` -- numpy's
+  integer-power kernel is repeated squaring, which is *not* bit-equal
+  to libm ``pow``);
+* placement is an inherently sequential argmin scan (each decision
+  feeds the next task's load), kept as a tight loop over flat arrays
+  and per-node slot heaps; everything the scan does not need --
+  straggler factors, read/compute times, busy folds, the write-behind
+  chain, spill, usage -- moves into vectorized pre/post passes;
+* order-sensitive float accumulations (busy seconds, working bytes)
+  are reproduced as exact left folds: ``np.add.accumulate`` over
+  per-node task-ordered rows (accumulate is sequential, unlike the
+  pairwise ``np.add.reduce``), masked constant-increment sweeps, or
+  count-indexed fold tables;
+* the O(n^2) shuffle is evaluated as *frontier rounds* over the two
+  NIC FIFO queues: a flow is ready when it is the next pending flow of
+  both its source's out-queue and its destination's in-queue, and all
+  ready flows touch disjoint queues, so each round is one vectorized
+  max-plus advance.  The hash-sorted flow order (and the per-phase
+  straggler factors) are memoized process-wide, keyed by
+  ``(seed, phase, nodes)``, so sweep replays skip rehashing.
+
+Per task the engine also records one event-arena row (node, slot,
+read/compute/write windows, straggle factor) -- the structured-array
+event log ``SimResult.events`` exposes lazily.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from heapq import heapreplace
+from math import inf
+
+import numpy as np
+
+from repro.cluster.sim import (
+    REPLICATION,
+    SimPhase,
+    SimResult,
+    STRAGGLER_TAIL,
+    TASK_WAVES,
+    USABLE_MEMORY_FRACTION,
+    node_usage,
+)
+
+_TWO64 = 2.0 ** 64
+
+#: Structured layout of one event-arena record (one per simulated task).
+EVENT_DTYPE = np.dtype([
+    ("node", "<i4"), ("slot", "<i4"),
+    ("read_start", "<f8"), ("read_end", "<f8"),
+    ("compute_start", "<f8"), ("compute_end", "<f8"),
+    ("write_start", "<f8"), ("write_end", "<f8"),
+    ("straggle", "<f8"), ("straggled", "?"), ("remote", "?"),
+])
+
+
+class _LRUCache:
+    """Tiny process-wide memo keyed by (seed, phase, nodes), bounded by
+    total element count so 1000-node entries cannot hoard memory."""
+
+    def __init__(self, max_elements: int):
+        self.max_elements = max_elements
+        self._table: OrderedDict = OrderedDict()
+        self._elements = 0
+
+    def get(self, key):
+        entry = self._table.get(key)
+        if entry is not None:
+            self._table.move_to_end(key)
+            return entry[0]
+        return None
+
+    def put(self, key, value, elements: int) -> None:
+        if key in self._table:
+            return
+        self._table[key] = (value, elements)
+        self._elements += elements
+        while self._elements > self.max_elements and len(self._table) > 1:
+            _, (_, dropped) = self._table.popitem(last=False)
+            self._elements -= dropped
+
+
+#: Straggler factors per (seed, phase name, task count).
+_FACTOR_CACHE = _LRUCache(max_elements=2_000_000)
+
+#: Hash-sorted shuffle flow plans per (seed, phase name, alive nodes).
+#: A 1000-node plan is ~8M elements (~64 MB), so the budget holds a
+#: couple of huge entries or hundreds of sweep-scale ones.
+_FLOW_CACHE = _LRUCache(max_elements=24_000_000)
+
+
+def straggler_factors(seed: int, phase_name: str, count: int):
+    """Batched scalar-identical straggler tail for ``count`` tasks.
+
+    Returns ``(factors, straggled)``: the per-task slowdown factors
+    (``1 + STRAGGLER_TAIL * u**8``) and the ``u**8 > 0.5`` flags.
+    """
+    key = (seed, phase_name, count)
+    hit = _FACTOR_CACHE.get(key)
+    if hit is not None:
+        return hit
+    blake = hashlib.blake2b
+    prefix = f"{seed}|{phase_name}:task".encode()
+    digest = b"".join(
+        blake(prefix + b"%d" % t, digest_size=8).digest()
+        for t in range(count))
+    units = np.frombuffer(digest, dtype="<u8") / _TWO64
+    # Per-element Python pow: libm-identical to the scalar ``u ** 8``.
+    tails = np.array([u ** 8 for u in units.tolist()])
+    factors = 1.0 + STRAGGLER_TAIL * tails
+    straggled = tails > 0.5
+    value = (factors, straggled)
+    _FACTOR_CACHE.put(key, value, count)
+    return value
+
+
+class FlowPlan:
+    """Precomputed shuffle schedule skeleton for one (seed, phase, alive).
+
+    Everything here is a pure function of the flow *order* -- the
+    hash-sorted (src, dst) pairs plus the FIFO queue orderings and the
+    busy-net fold grouping -- and none of it depends on bandwidths or
+    prior phases, so sweep replays reuse it wholesale from the cache.
+    """
+
+    __slots__ = ("src", "dst", "out_order", "out_bounds", "in_order",
+                 "in_bounds", "net_grouped", "net_ranks", "net_counts",
+                 "elements")
+
+    def __init__(self, src, dst, total_nodes: int):
+        self.src = src
+        self.dst = dst
+        flows = src.size
+        self.out_order = np.argsort(src, kind="stable")
+        out_counts = np.bincount(src, minlength=total_nodes)
+        self.out_bounds = np.concatenate(([0], np.cumsum(out_counts)))
+        self.in_order = np.argsort(dst, kind="stable")
+        in_counts = np.bincount(dst, minlength=total_nodes)
+        self.in_bounds = np.concatenate(([0], np.cumsum(in_counts)))
+        # busy_net fold grouping: each flow charges src then dst in flow
+        # order, so group the interleaved endpoint stream per node.
+        endpoints = np.empty(2 * flows, dtype=np.int64)
+        endpoints[0::2] = src
+        endpoints[1::2] = dst
+        self.net_counts = np.bincount(endpoints, minlength=total_nodes)
+        self.net_grouped = np.argsort(endpoints, kind="stable")
+        starts = np.concatenate(([0], np.cumsum(self.net_counts)))[:-1]
+        self.net_ranks = (np.arange(2 * flows)
+                          - starts[endpoints[self.net_grouped]])
+        self.elements = 8 * flows
+
+
+def flow_order(seed: int, phase_name: str, alive: tuple,
+               total_nodes: int) -> FlowPlan:
+    """The all-to-all shuffle's :class:`FlowPlan`, hash-sorted.
+
+    The scalar path sorts pairwise flows by ``(unit, src, dst)``; this
+    reproduces that order with one batched hash pass plus a lexsort.
+    """
+    key = (seed, phase_name, alive)
+    hit = _FLOW_CACHE.get(key)
+    if hit is not None:
+        return hit
+    idx = np.array(alive, dtype=np.int64)
+    n = idx.size
+    # Hash the full n x n site grid (diagonal discarded below: +1/n
+    # hashes buys 2n instead of n^2 byte-formatting operations).
+    blake = hashlib.blake2b
+    prefix = f"{seed}|{phase_name}:flow:".encode()
+    heads = [prefix + b"%d->" % i for i in alive]
+    tails = [b"%d" % j for j in alive]
+    digest = b"".join(
+        [blake(h + t, digest_size=8).digest() for h in heads for t in tails])
+    grid = np.frombuffer(digest, dtype="<u8") / _TWO64
+    src = np.repeat(idx, n)
+    dst = np.tile(idx, n)
+    keep = src != dst
+    src, dst, keys = src[keep], dst[keep], grid[keep]
+    perm = np.lexsort((dst, src, keys))
+    plan = FlowPlan(src[perm], dst[perm], total_nodes)
+    _FLOW_CACHE.put(key, plan, plan.elements)
+    return plan
+
+
+class EventArena:
+    """Preallocated structured-array event log: one record per task.
+
+    Filled column-wise by the vector engine during the replay; packed
+    into a single :data:`EVENT_DTYPE` array lazily on first access via
+    :attr:`SimResult.events`.
+    """
+
+    def __init__(self, rows: int):
+        self.rows = rows
+        self.node = np.zeros(rows, dtype=np.int32)
+        self.slot = np.zeros(rows, dtype=np.int32)
+        self.read_start = np.zeros(rows)
+        self.read_end = np.zeros(rows)
+        self.compute_start = np.zeros(rows)
+        self.compute_end = np.zeros(rows)
+        self.write_start = np.zeros(rows)
+        self.write_end = np.zeros(rows)
+        self.straggle = np.zeros(rows)
+        self.straggled = np.zeros(rows, dtype=bool)
+        self.remote = np.zeros(rows, dtype=bool)
+        self._phases: list = []          # (name, offset, count)
+        self._packed = None
+
+    def mark(self, name: str, offset: int, count: int) -> None:
+        self._phases.append((name, offset, count))
+
+    def pack(self) -> np.ndarray:
+        """The whole arena as one structured array (built lazily)."""
+        if self._packed is None:
+            out = np.empty(self.rows, dtype=EVENT_DTYPE)
+            for field in ("node", "slot", "read_start", "read_end",
+                          "compute_start", "compute_end", "write_start",
+                          "write_end", "straggle", "straggled", "remote"):
+                out[field] = getattr(self, field)
+            self._packed = out
+        return self._packed
+
+    def phase_events(self, name: str) -> np.ndarray:
+        """Records of the first phase named ``name``."""
+        for phase_name, offset, count in self._phases:
+            if phase_name == name:
+                return self.pack()[offset:offset + count]
+        raise KeyError(f"no simulated phase named {name!r} has tasks")
+
+
+class VectorEngine:
+    """One vectorized replay of a :class:`JobCost` for a ClusterSim."""
+
+    def __init__(self, sim, killed: tuple):
+        self.sim = sim
+        cluster = sim.cluster
+        specs = cluster.nodes
+        self.specs = specs
+        self.n = len(specs)
+        self.killed = killed
+        kill_set = set(killed)
+        # Fault modifiers, consumed in the scalar path's order (disk
+        # then NIC per node) so standing-fault events match exactly.
+        disk_factor, nic_factor = [], []
+        for index in range(self.n):
+            disk_factor.append(sim._modifier("slow_disk", index))
+            nic_factor.append(sim._modifier("slow_nic", index))
+        self.disk_bw = np.array([
+            spec.disk.seq_bandwidth / factor
+            for spec, factor in zip(specs, disk_factor)])
+        self.nic_bw = np.array([
+            spec.nic.bandwidth / factor
+            for spec, factor in zip(specs, nic_factor)])
+        ref_freq = cluster.node.machine.freq_hz
+        self.ratio = np.array([
+            ref_freq / spec.machine.freq_hz for spec in specs])
+        self.cores = np.array([spec.cores for spec in specs], dtype=np.int64)
+        self.mem_budget = np.array([
+            USABLE_MEMORY_FRACTION * spec.memory_bytes for spec in specs])
+        self.alive = [i for i in range(self.n) if i not in kill_set]
+        if not self.alive:
+            raise RuntimeError("cluster simulation has no alive nodes")
+        self.slots = int(self.cores[self.alive].sum())
+        # Replica candidates repeat with period n, so the per-task
+        # placement table is one row per (task % n): the alive holders
+        # of the round-robin replica set, pre-sorted by index so the
+        # scan's first-strictly-less walk IS the (load, index) argmin.
+        count = min(REPLICATION, self.n)
+        alive_set = set(self.alive)
+        self.cand_table = []
+        for r in range(self.n):
+            replicas = [(r + k) % self.n for k in range(count)]
+            cands = sorted(i for i in replicas if i in alive_set)
+            if cands:
+                self.cand_table.append((cands, 0))
+            else:
+                self.cand_table.append((self.alive, 1))
+        self.remote_by_residue = np.array(
+            [entry[1] for entry in self.cand_table], dtype=bool)
+        # Cross-phase carry: busy accumulators and compute horizon.
+        self.busy_cpu = np.zeros(self.n)
+        self.busy_disk = np.zeros(self.n)
+        self.busy_net = np.zeros(self.n)
+        self.compute_end = np.zeros(self.n)
+
+    # -- whole job -----------------------------------------------------------
+
+    def run(self, job) -> SimResult:
+        sim = self.sim
+        scaled = [phase.scaled(sim.data_scale) for phase in job.phases]
+        task_counts = [self._num_tasks(phase) for phase in scaled]
+        arena = EventArena(sum(task_counts))
+        now = 0.0
+        offset = 0
+        phases = []
+        for phase, num_tasks in zip(scaled, task_counts):
+            with sim.ctx.span(f"sim:phase:{phase.name}",
+                              category="cluster") as span:
+                record = self._run_phase(phase, num_tasks, now, arena, offset)
+                span.set("tasks", record.tasks)
+                span.set("seconds", record.seconds)
+            phases.append(record)
+            offset += num_tasks
+            now = record.end
+            # The scalar phase barrier clamps every alive resource to
+            # ``now``; every in-phase resource time is <= the phase end,
+            # so the clamp *collapses* the state -- each phase opens
+            # uniform and nothing but the accumulators carries over.
+        makespan = now
+        usage = tuple(
+            node_usage(index, spec, float(self.busy_cpu[index]),
+                       float(self.busy_disk[index]),
+                       float(self.busy_net[index]), makespan)
+            for index, spec in enumerate(self.specs))
+        return SimResult(seconds=makespan, phases=tuple(phases), nodes=usage,
+                         killed=self.killed, arena=arena)
+
+    def _num_tasks(self, phase) -> int:
+        """Arena rows this phase needs (0 when it schedules no tasks)."""
+        has_tasks = (phase.cpu_seconds > 0 or phase.disk_read_bytes > 0
+                     or phase.disk_write_bytes > 0 or phase.working_bytes > 0)
+        return max(1, TASK_WAVES * self.slots) if has_tasks else 0
+
+    # -- one phase -----------------------------------------------------------
+
+    def _run_phase(self, phase, num_tasks: int, now: float,
+                   arena: EventArena, offset: int) -> SimPhase:
+        end = now
+        straggled = 0
+        remote_tasks = 0
+        spill_total = 0.0
+        if num_tasks:
+            end, straggled, remote_tasks, spill_total = self._task_waves(
+                phase, num_tasks, now, arena, offset)
+        if phase.shuffle_bytes > 0 and len(self.alive) > 1:
+            end = max(end, self._shuffle(phase, now))
+        return SimPhase(name=phase.name, start=now,
+                        end=end + phase.fixed_seconds, tasks=num_tasks,
+                        straggled=straggled, remote_tasks=remote_tasks,
+                        spill_bytes=spill_total)
+
+    def _task_waves(self, phase, num_tasks: int, now: float,
+                    arena: EventArena, offset: int):
+        n = self.n
+        cpu_share = phase.cpu_seconds / num_tasks
+        read_share = phase.disk_read_bytes / num_tasks
+        write_share = phase.disk_write_bytes / num_tasks
+        work_share = phase.working_bytes / num_tasks
+        has_read = read_share > 0
+        has_write = write_share > 0
+
+        factors, straggled_mask = straggler_factors(
+            self.sim.seed, phase.name, num_tasks)
+        # First multiply of the scalar's cpu_share * factor * ratio.
+        weighted = cpu_share * factors
+
+        # Per-node constants: one division, reused for every task on
+        # the node (the scalar recomputes the same quotient per task).
+        read_time = read_share / self.disk_bw
+        write_time = write_share / self.disk_bw
+
+        # --- placement scan (sequential by construction) -------------------
+        # Each decision feeds the next task's load, so this stays a
+        # Python loop -- but over flat lists and per-node slot heaps,
+        # with all per-task arithmetic pre/post-batched around it.
+        cand_table = self.cand_table
+        weighted_l = weighted.tolist()
+        ratio_l = self.ratio.tolist()
+        read_l = read_time.tolist()
+        disk_free = [now] * n
+        core_min = [now] * n
+        heaps = [[(now, slot) for slot in range(int(c))] for c in self.cores]
+        nodes_l, slots_l = [], []
+        rs_l, re_l, st_l, ce_l, ct_l = [], [], [], [], []
+        remote_total = 0
+        for task in range(num_tasks):
+            cands, remote = cand_table[task % n]
+            remote_total += remote
+            best = -1
+            best_load = inf
+            for c in cands:
+                load = disk_free[c]
+                m = core_min[c]
+                if m > load:
+                    load = m
+                if load < best_load:
+                    best_load = load
+                    best = c
+            if has_read:
+                rs = disk_free[best]
+                re = rs + read_l[best]
+                disk_free[best] = re
+            else:
+                rs = re = now
+            heap = heaps[best]
+            core_free, slot = heap[0]
+            st = core_free if core_free > re else re
+            ct = weighted_l[task] * ratio_l[best]
+            ce = st + ct
+            heapreplace(heap, (ce, slot))
+            core_min[best] = heap[0][0]
+            nodes_l.append(best)
+            slots_l.append(slot)
+            rs_l.append(rs)
+            re_l.append(re)
+            st_l.append(st)
+            ce_l.append(ce)
+            ct_l.append(ct)
+
+        node_arr = np.array(nodes_l, dtype=np.int64)
+        ce_arr = np.array(ce_l)
+        ct_arr = np.array(ct_l)
+
+        # --- batched post passes -------------------------------------------
+        # Per-node task grouping (stable: rows keep task order).
+        counts = np.bincount(node_arr, minlength=n)
+        max_k = int(counts.max())
+        order = np.argsort(node_arr, kind="stable")
+        starts = np.concatenate(([0], np.cumsum(counts)))[:-1]
+        grouped_nodes = node_arr[order]
+        ranks = np.arange(num_tasks) - starts[grouped_nodes]
+
+        # busy_cpu: exact left fold of each node's cpu times in task
+        # order (accumulate is sequential; trailing zero pads are exact).
+        cpu_rows = np.zeros((n, max_k + 1))
+        cpu_rows[:, 0] = self.busy_cpu
+        cpu_rows[grouped_nodes, ranks + 1] = ct_arr[order]
+        self.busy_cpu = np.add.accumulate(cpu_rows, axis=1)[:, -1]
+
+        # busy_disk: the scalar adds read_time then write_time per task;
+        # both are per-node constants, so sweep the task ordinals with
+        # masked adds -- same additions in the same per-node order.
+        if has_read or has_write:
+            for k in range(max_k):
+                mask = counts > k
+                if has_read:
+                    self.busy_disk[mask] += read_time[mask]
+                if has_write:
+                    self.busy_disk[mask] += write_time[mask]
+
+        np.maximum.at(self.compute_end, node_arr, ce_arr)
+
+        # Write-behind chain: per node a FIFO of max-plus advances in
+        # task order -- vectorized across nodes, one ordinal per round.
+        write_free = np.full(n, now)
+        if has_write:
+            ws_arr = np.zeros(num_tasks)
+            we_arr = np.zeros(num_tasks)
+            for k in range(max_k):
+                active = np.nonzero(counts > k)[0]
+                tasks_k = order[starts[active] + k]
+                ws = np.maximum(write_free[active], ce_arr[tasks_k])
+                we = ws + write_time[active]
+                write_free[active] = we
+                ws_arr[tasks_k] = ws
+                we_arr[tasks_k] = we
+            task_end = we_arr
+        else:
+            ws_arr = we_arr = ce_arr
+            task_end = ce_arr
+
+        end = max(now, float(task_end.max()))
+
+        # Memory pressure: count-indexed fold table gives each node's
+        # working-byte total with the scalar's exact addition sequence.
+        spill_total = 0.0
+        if work_share > 0:
+            fold = [0.0]
+            acc = 0.0
+            for _ in range(max_k):
+                acc += work_share
+                fold.append(acc)
+            working = np.array(fold)[counts]
+            excess = working - self.mem_budget
+            spilling = np.nonzero(excess > 0)[0]
+            if spilling.size:
+                spill_time = (excess * self.sim.spill_passes) / self.disk_bw
+                spill_start = np.maximum(write_free, self.compute_end)
+                write_free[spilling] = (spill_start[spilling]
+                                        + spill_time[spilling])
+                self.busy_disk[spilling] += spill_time[spilling]
+                # Node-index-ordered fold, like the scalar's alive walk.
+                for value in excess[spilling].tolist():
+                    spill_total += value
+                end = max(end, float(write_free[spilling].max()))
+
+        # --- event arena ----------------------------------------------------
+        sl = slice(offset, offset + num_tasks)
+        arena.node[sl] = node_arr
+        arena.slot[sl] = slots_l
+        arena.read_start[sl] = rs_l
+        arena.read_end[sl] = re_l
+        arena.compute_start[sl] = st_l
+        arena.compute_end[sl] = ce_arr
+        arena.write_start[sl] = ws_arr
+        arena.write_end[sl] = we_arr
+        arena.straggle[sl] = factors
+        arena.straggled[sl] = straggled_mask
+        arena.remote[sl] = self.remote_by_residue[
+            np.arange(num_tasks) % n]
+        arena.mark(phase.name, offset, num_tasks)
+
+        return end, int(straggled_mask.sum()), remote_total, spill_total
+
+    # -- shuffle -------------------------------------------------------------
+
+    def _shuffle(self, phase, now: float) -> float:
+        """Hash-ordered pairwise flows as vectorized frontier rounds.
+
+        A flow is ready when it heads both its source's NIC-out queue
+        and its destination's NIC-in queue; ready flows touch disjoint
+        queues, so each round advances them all with one batched
+        max-plus update.  The globally earliest pending flow is always
+        ready, so rounds make progress; FIFO order per queue -- and
+        therefore every float -- matches the scalar walk exactly.
+        """
+        alive = self.alive
+        m = len(alive)
+        per_flow = phase.shuffle_bytes / (m * (m - 1))
+        plan = flow_order(self.sim.seed, phase.name, tuple(alive), self.n)
+        src, dst = plan.src, plan.dst
+        flows = src.size
+        rate = np.minimum(self.nic_bw[src], self.nic_bw[dst])
+        duration = per_flow / rate
+
+        out_ptr = plan.out_bounds[:-1].copy()
+        out_end = plan.out_bounds[1:]
+        in_ptr = plan.in_bounds[:-1].copy()
+        out_order, in_order = plan.out_order, plan.in_order
+
+        nic_out = np.full(self.n, now)
+        nic_in = np.full(self.n, now)
+        horizon = self.compute_end
+        end = now
+        pending = np.nonzero(out_end > out_ptr)[0]
+        while True:
+            pending = pending[out_ptr[pending] < out_end[pending]]
+            if not pending.size:
+                break
+            heads = out_order[out_ptr[pending]]
+            ready = heads[in_order[in_ptr[dst[heads]]] == heads]
+            s = src[ready]
+            d = dst[ready]
+            start = np.maximum(np.maximum(horizon[s], nic_out[s]),
+                               np.maximum(nic_in[d], now))
+            finish = start + duration[ready]
+            nic_out[s] = finish
+            nic_in[d] = finish
+            out_ptr[s] += 1
+            in_ptr[d] += 1
+            end = max(end, float(finish.max()))
+
+        # busy_net: each flow charges src then dst in flow order --
+        # interleaved endpoints, grouped per node, exact left fold.
+        charges = np.empty(2 * flows)
+        charges[0::2] = duration
+        charges[1::2] = duration
+        rows = np.zeros((self.n, int(plan.net_counts.max()) + 1))
+        rows[:, 0] = self.busy_net
+        endpoints_grouped = np.empty(2 * flows, dtype=np.int64)
+        endpoints_grouped[0::2] = src
+        endpoints_grouped[1::2] = dst
+        rows[endpoints_grouped[plan.net_grouped], plan.net_ranks + 1] = (
+            charges[plan.net_grouped])
+        self.busy_net = np.add.accumulate(rows, axis=1)[:, -1]
+        return end

@@ -75,3 +75,34 @@ class TestHeterogeneous:
         assert resolve_cluster(PAPER_CLUSTER) is PAPER_CLUSTER
         with pytest.raises(ValueError):
             resolve_cluster("warehouse")
+
+
+class TestScaled:
+    def test_scaled_resizes_the_base_rack(self):
+        big = PAPER_CLUSTER.scaled(100)
+        assert big.total_nodes == 100
+        assert big.node is PAPER_CLUSTER.node
+        assert not big.is_heterogeneous
+
+    def test_scaled_drops_heterogeneous_extras(self):
+        assert MIXED_CLUSTER.scaled(50).total_nodes == 50
+        assert not MIXED_CLUSTER.scaled(50).is_heterogeneous
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            PAPER_CLUSTER.scaled(0)
+        with pytest.raises(ValueError):
+            PAPER_CLUSTER.scaled(-3)
+
+    def test_resolve_with_count_suffix(self):
+        spec = resolve_cluster("paper:100")
+        assert spec.total_nodes == 100
+        assert spec.node is PAPER_CLUSTER.node
+        assert resolve_cluster("single:1000").total_nodes == 1000
+        assert resolve_cluster("PAPER:7").total_nodes == 7
+
+    def test_resolve_bad_suffix_rejected(self):
+        for bad in ("paper:", "paper:abc", "paper:0", "paper:-5",
+                    "warehouse:10"):
+            with pytest.raises(ValueError):
+                resolve_cluster(bad)

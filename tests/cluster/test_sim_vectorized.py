@@ -1,0 +1,259 @@
+"""Vectorized event plane: bit-identity with the scalar reference.
+
+The vector engine (:mod:`repro.cluster.vector`) must replay every job
+*bit-identically* to the per-task scalar loop -- same
+``SimResult.seconds``, phase records, per-node busy seconds -- across
+seeds, heterogeneous clusters, scaled clusters, and fault plans.  The
+grid here is property-style: every job shape the simulator models
+(cpu/io/shuffle/spill/fixed/mixed) crossed with the cluster and fault
+axes, fingerprinted down to the float.
+
+Also covered: the event arena (one structured record per task) agreeing
+with the ``SimPhase`` aggregates, and the ``REPRO_SCALAR_SIM`` escape
+hatch selecting the reference engine.
+"""
+
+import pytest
+
+from repro.cluster import (
+    ClusterSim,
+    ClusterSpec,
+    JobCost,
+    MIXED_CLUSTER,
+    PAPER_CLUSTER,
+    PhaseCost,
+)
+from repro.faults import FaultInjector, FaultPlan
+from tests.cluster.test_sim import fingerprint, mr_like_job
+
+GB = 1024 ** 3
+
+
+def cpu_job():
+    return JobCost().add(PhaseCost(name="cpu", cpu_seconds=20_000.0))
+
+
+def io_job():
+    return JobCost().add(PhaseCost(
+        name="scan", cpu_seconds=200.0, disk_read_bytes=500 * GB))
+
+
+def shuffle_job():
+    return JobCost().add(PhaseCost(name="exchange", shuffle_bytes=40 * GB))
+
+
+def spill_job():
+    return JobCost().add(PhaseCost(
+        name="map", cpu_seconds=100.0, working_bytes=400 * GB))
+
+
+def fixed_job():
+    return JobCost().add(PhaseCost(name="setup", fixed_seconds=32.0))
+
+
+JOBS = {
+    "mr": mr_like_job,
+    "cpu": cpu_job,
+    "io": io_job,
+    "shuffle": shuffle_job,
+    "spill": spill_job,
+    "fixed": fixed_job,
+}
+
+#: Fault plans covering every per-node modifier the simulator knows:
+#: a kill, combined slow_disk+slow_nic, and three consecutive kills
+#: (which leaves some tasks' whole replica set dead -> remote reads).
+FAULT_PLANS = {
+    "none": None,
+    "kill": "node_kill:node=3",
+    "slow": "slow_disk:node=2:factor=8;slow_nic:node=0:factor=10",
+    "kill_replica_run": ("node_kill:node=3;node_kill:node=4;"
+                         "node_kill:node=5"),
+}
+
+
+def run(cluster, job, engine, seed=0, plan=None, data_scale=1.0):
+    faults = (FaultInjector(FaultPlan.parse(plan), seed=seed)
+              if plan else None)
+    sim = ClusterSim(cluster, data_scale=data_scale, seed=seed,
+                     faults=faults, engine=engine)
+    return sim.run(job)
+
+
+def assert_equivalent(cluster, job, seed=0, plan=None, data_scale=1.0):
+    scalar = run(cluster, job, "scalar", seed, plan, data_scale)
+    vector = run(cluster, job, "vector", seed, plan, data_scale)
+    assert fingerprint(scalar) == fingerprint(vector)
+    return vector
+
+
+class TestEquivalenceGrid:
+    """The full property grid on the paper cluster; spot checks widen
+    the cluster axis below."""
+
+    @pytest.mark.parametrize("job_name", sorted(JOBS))
+    @pytest.mark.parametrize("plan_name", sorted(FAULT_PLANS))
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    def test_paper_cluster(self, job_name, plan_name, seed):
+        assert_equivalent(PAPER_CLUSTER, JOBS[job_name](), seed=seed,
+                          plan=FAULT_PLANS[plan_name])
+
+    @pytest.mark.parametrize("job_name", sorted(JOBS))
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_mixed_cluster(self, job_name, seed):
+        assert_equivalent(MIXED_CLUSTER, JOBS[job_name](), seed=seed)
+
+    @pytest.mark.parametrize("plan_name", sorted(FAULT_PLANS))
+    def test_mixed_cluster_faults(self, plan_name):
+        assert_equivalent(MIXED_CLUSTER, mr_like_job(), seed=3,
+                          plan=FAULT_PLANS[plan_name])
+
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_scaled_100(self, seed):
+        assert_equivalent(PAPER_CLUSTER.scaled(100), mr_like_job(),
+                          seed=seed)
+
+    def test_scaled_100_with_faults(self):
+        assert_equivalent(PAPER_CLUSTER.scaled(100), mr_like_job(),
+                          seed=2, plan=FAULT_PLANS["slow"])
+
+    def test_single_node(self):
+        assert_equivalent(ClusterSpec(num_nodes=1), mr_like_job())
+
+    def test_data_scale(self):
+        assert_equivalent(PAPER_CLUSTER, mr_like_job(), data_scale=4.0)
+
+    def test_fault_event_log_identical(self):
+        """Both engines must drive the fault injector through the same
+        sites in the same order (the injector records standing events
+        once per site)."""
+        plan = ("node_kill:node=1;slow_disk:node=2:factor=4;"
+                "slow_nic:node=5:factor=2")
+
+        def events(engine):
+            faults = FaultInjector(FaultPlan.parse(plan), seed=3)
+            ClusterSim(PAPER_CLUSTER, seed=3, faults=faults,
+                       engine=engine).run(mr_like_job())
+            return tuple((e.kind, e.site, e.phase) for e in faults.events)
+
+        assert events("scalar") == events("vector")
+
+
+class TestEventArena:
+    def result(self, **kwargs):
+        return run(PAPER_CLUSTER, mr_like_job(), "vector", **kwargs)
+
+    def test_one_record_per_task(self):
+        result = self.result()
+        assert len(result.events) == sum(p.tasks for p in result.phases)
+
+    def test_phase_slices_match_aggregates(self):
+        result = self.result(seed=4)
+        for phase in result.phases:
+            if phase.tasks == 0:
+                with pytest.raises(KeyError):
+                    result.phase_events(phase.name)
+                continue
+            events = result.phase_events(phase.name)
+            assert len(events) == phase.tasks
+            assert int(events["straggled"].sum()) == phase.straggled
+            assert int(events["remote"].sum()) == phase.remote_tasks
+            # Every record's windows are ordered and inside the phase.
+            assert (events["read_start"] >= phase.start).all()
+            assert (events["read_end"] >= events["read_start"]).all()
+            assert (events["compute_start"] >= events["read_end"]).all()
+            assert (events["compute_end"] > events["compute_start"]).all()
+            assert (events["write_start"] >= events["compute_end"]).all()
+            assert (events["write_end"] <= phase.end).all()
+
+    def test_straggle_factors_in_band(self):
+        events = self.result().events
+        assert (events["straggle"] >= 1.0).all()
+        assert (events["straggle"] <= 1.5).all()
+        assert (events["straggle"][events["straggled"]] > 1.25).all()
+
+    def test_nodes_and_slots_in_range(self):
+        result = self.result(plan="node_kill:node=3")
+        events = result.events
+        assert events["node"].min() >= 0
+        assert events["node"].max() < 14
+        assert (events["node"] != 3).all()
+        assert events["slot"].min() >= 0
+        assert events["slot"].max() < 12  # dual E5645: 12 cores
+
+    def test_busy_cpu_matches_arena_sum(self):
+        result = self.result(seed=6)
+        events = result.events
+        for usage in result.nodes:
+            mine = events[events["node"] == usage.index]
+            spans = mine["compute_end"] - mine["compute_start"]
+            assert float(spans.sum()) == pytest.approx(
+                usage.busy_cpu_seconds)
+
+    def test_scalar_engine_has_no_arena(self):
+        result = run(PAPER_CLUSTER, mr_like_job(), "scalar")
+        assert result.arena is None
+        with pytest.raises(RuntimeError):
+            result.events
+        with pytest.raises(RuntimeError):
+            result.phase_events("map")
+
+
+class TestEngineSelection:
+    def test_env_var_selects_scalar(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALAR_SIM", "1")
+        sim = ClusterSim(PAPER_CLUSTER)
+        assert sim.engine == "scalar"
+        assert sim.run(mr_like_job()).arena is None
+
+    def test_env_var_zero_means_vector(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALAR_SIM", "0")
+        assert ClusterSim(PAPER_CLUSTER).engine == "vector"
+
+    def test_explicit_engine_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALAR_SIM", "1")
+        assert ClusterSim(PAPER_CLUSTER, engine="vector").engine == "vector"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterSim(PAPER_CLUSTER, engine="quantum")
+
+    def test_timemodel_passes_engine_through(self):
+        from repro.cluster import TimeModel
+
+        scalar = TimeModel(PAPER_CLUSTER, mode="event",
+                           sim_engine="scalar").job_time(mr_like_job())
+        vector = TimeModel(PAPER_CLUSTER, mode="event",
+                           sim_engine="vector").job_time(mr_like_job())
+        assert scalar == vector
+
+
+class TestMetricsCardinality:
+    def run_fresh(self, cluster):
+        from repro.obs.metrics import METRICS
+
+        METRICS.reset()
+        ClusterSim(cluster).run(mr_like_job())
+        return METRICS
+
+    def test_small_cluster_keeps_per_node_gauges(self):
+        metrics = self.run_fresh(PAPER_CLUSTER)
+        assert "cluster.node.0.cpu_util" in metrics.gauges
+        assert "cluster.node.13.net_util" in metrics.gauges
+        hist = metrics.histograms["cluster.sim.node_util.cpu"]
+        assert hist.count == 14
+
+    def test_large_cluster_rolls_into_histograms(self):
+        metrics = self.run_fresh(PAPER_CLUSTER.scaled(100))
+        per_node = [name for name in metrics.gauges
+                    if name.startswith("cluster.node.")]
+        assert per_node == []
+        for kind in ("cpu", "disk", "net"):
+            hist = metrics.histograms[f"cluster.sim.node_util.{kind}"]
+            assert hist.count == 100
+            assert 0.0 <= hist.min <= hist.max <= 1.0
+
+    def test_existing_sim_metrics_keep_meaning(self):
+        metrics = self.run_fresh(PAPER_CLUSTER)
+        assert metrics.counters["cluster.sim.runs"].value == 1.0
+        assert metrics.histograms["cluster.sim.seconds"].count == 1

@@ -118,6 +118,29 @@ class TestCommands:
         with pytest.raises(SystemExit):
             main(["cluster", "show", "warehouse"])
 
+    def test_cluster_show_prints_replay_table(self, capsys):
+        assert main(["cluster", "show", "paper"]) == 0
+        out = capsys.readouterr().out
+        assert "event replay of a sample job" in out
+        assert "cpu util" in out
+
+    def test_cluster_show_count_suffix(self, capsys):
+        assert main(["cluster", "show", "paper:100"]) == 0
+        out = capsys.readouterr().out
+        assert "100 nodes" in out
+        # 100 identical nodes collapse into one grouped row.
+        assert "0-99" in out
+
+    def test_cluster_show_nodes_flag(self, capsys):
+        assert main(["cluster", "show", "paper", "--nodes", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "30 nodes" in out
+        assert "0-29" in out
+
+    def test_cluster_show_bad_count_suffix(self):
+        with pytest.raises(SystemExit):
+            main(["cluster", "show", "paper:zero"])
+
     def test_run_on_cluster_preset(self, capsys):
         assert main(["run", "Grep", "--cluster", "mixed", "--no-cache",
                      "--no-artifacts"]) == 0
