@@ -1,0 +1,179 @@
+"""Serving-plane performance: stream generation, replay, autoscale sweep.
+
+Three gates on the traffic plane, measured on a real server:
+
+1. **Generation**: materializing a capped (20k-request) arrival stream
+   for every profile shape fits a per-shape budget -- the generator is
+   vectorized inverse-CDF sampling, not a Python event loop.
+2. **Replay**: driving a capped stream through the single-node core/NIC
+   queues sustains a floor in simulated requests per second (the heap
+   engine is the serving plane's inner loop; sweeps pay it per point).
+3. **Autoscale**: the 10 -> 1000-node sweep -- demand measured once,
+   then pure event replay per size -- completes warm under a minute
+   (the PR's acceptance bound; in practice it is seconds).
+
+A policy comparison under flash-crowd overload is recorded in the JSON
+document (ungated -- trajectory data for the SLO study).  The
+checked-in ``BENCH_serving_load.json`` is the trajectory baseline; set
+``REPRO_BENCH_DIR`` to persist a fresh document.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import emit, emit_json
+from repro.cluster.node import SINGLE_NODE
+from repro.core.report import render_table
+from repro.datagen.seeds import wikipedia_entries
+from repro.serving import (
+    AUTOSCALE_NODES,
+    NutchServer,
+    ServingRun,
+    autoscale_sweep,
+    measure_demand,
+    run_serving,
+)
+from repro.serving.load import (
+    LoadProfile,
+    PROFILE_SHAPES,
+    generate_stream,
+    replay_stream,
+)
+
+#: Per-shape budget for generating one capped (20k-request) stream.
+GENERATION_BUDGET_SECONDS = 0.5
+
+#: Floor on warm single-node replay throughput (simulated requests per
+#: wall-clock second).  Measured ~100k req/s; the floor leaves 3x
+#: headroom for slow CI machines.
+REPLAY_FLOOR_RPS = 30_000.0
+
+#: The acceptance bound on the warm 10 -> 1000-node sweep.
+AUTOSCALE_BUDGET_SECONDS = 60.0
+
+_DOC = {"bench": "serving_load"}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_doc():
+    yield
+    emit_json(_DOC, "serving_load")
+
+
+@pytest.fixture(scope="module")
+def server():
+    return NutchServer(wikipedia_entries(num_docs=120))
+
+
+@pytest.fixture(scope="module")
+def demand(server):
+    # Unprofiled sample: deterministic fallback demand -- the bench
+    # times the traffic plane, not the profiler.
+    return measure_demand(server, SINGLE_NODE, sample_requests=200)
+
+
+def _capped_profile(shape: str) -> LoadProfile:
+    """A profile of ``shape`` whose stream hits the 20k-request cap."""
+    return LoadProfile(shape=shape, rps=4000.0, duration=10.0)
+
+
+def test_stream_generation_budget(server):
+    mix = server.MIX
+    rows = []
+    payload = {}
+    for shape in PROFILE_SHAPES:
+        profile = _capped_profile(shape)
+        generate_stream(profile, mix, seed=0)  # warm numpy paths
+        start = time.perf_counter()
+        stream = generate_stream(profile, mix, seed=0)
+        seconds = time.perf_counter() - start
+        rows.append([shape, str(stream.size), f"{stream.duration:.2f}",
+                     f"{seconds * 1e3:.2f}"])
+        payload[shape] = {"requests": stream.size, "seconds": seconds}
+        assert seconds <= GENERATION_BUDGET_SECONDS, (
+            f"{shape} stream took {seconds:.3f}s "
+            f"(budget {GENERATION_BUDGET_SECONDS}s)")
+    emit(render_table(
+        ["Shape", "Requests", "Window s", "Gen ms"],
+        rows, title="Arrival-stream generation at the 20k cap"))
+    _DOC["generation"] = payload
+
+
+def test_replay_throughput_floor(server, demand):
+    stream = generate_stream(_capped_profile("constant"), server.MIX, seed=0)
+    replay_stream(stream, SINGLE_NODE, demand.service_seconds)  # warm
+    start = time.perf_counter()
+    outcome = replay_stream(stream, SINGLE_NODE, demand.service_seconds)
+    seconds = time.perf_counter() - start
+    sim_rps = outcome.requests / max(seconds, 1e-9)
+    emit(render_table(
+        ["Quantity", "Value"],
+        [["requests", str(outcome.requests)],
+         ["wall seconds", f"{seconds:.3f}"],
+         ["simulated req/s", f"{sim_rps:,.0f}"]],
+        title="Single-node replay throughput"))
+    _DOC["replay_requests"] = outcome.requests
+    _DOC["replay_seconds"] = seconds
+    _DOC["replay_sim_rps"] = sim_rps
+    assert sim_rps >= REPLAY_FLOOR_RPS, (
+        f"replay sustained {sim_rps:,.0f} simulated req/s "
+        f"(floor {REPLAY_FLOOR_RPS:,.0f})")
+
+
+def test_policy_comparison_under_flash_crowd(server, demand):
+    """Ungated trajectory data: what each recovery policy buys under a
+    flash-crowd overload (the SLO study's headline comparison)."""
+    rows = []
+    payload = []
+    for policy in ("none", "shed", "hedge", "retry", "all"):
+        spec = ServingRun(server=server,
+                          profile="flash:rps=3200:peak=8:duration=6",
+                          policy=policy, slo_seconds=0.5)
+        report = run_serving(spec, demand=demand)
+        rows.append([policy, f"{report.achieved_rps:.0f}",
+                     f"{report.goodput_rps:.0f}",
+                     f"{report.p99_latency * 1e3:.1f}",
+                     f"{report.shed_fraction:.1%}",
+                     f"{report.hedged_fraction:.1%}",
+                     f"{report.retried_fraction:.1%}"])
+        payload.append({
+            "policy": policy,
+            "achieved_rps": report.achieved_rps,
+            "goodput_rps": report.goodput_rps,
+            "p99_seconds": report.p99_latency,
+            "shed_fraction": report.shed_fraction,
+            "hedged_fraction": report.hedged_fraction,
+            "retried_fraction": report.retried_fraction,
+        })
+    emit(render_table(
+        ["Policy", "RPS", "Goodput", "p99 ms", "Shed", "Hedged", "Retried"],
+        rows, title="Flash crowd at 3200 rps: recovery-policy comparison"))
+    _DOC["flash_policies"] = payload
+
+
+def test_autoscale_sweep_warm_under_a_minute(server, demand):
+    spec = ServingRun(server=server,
+                      profile="constant:rps=3200:duration=5",
+                      policy="shed")
+    start = time.perf_counter()
+    reports = autoscale_sweep(spec, node_counts=AUTOSCALE_NODES,
+                              demand=demand)
+    seconds = time.perf_counter() - start
+
+    rows = [[str(n), f"{r.achieved_rps:.0f}",
+             f"{r.p50_latency * 1e3:.2f}", f"{r.p99_latency * 1e3:.2f}",
+             f"{r.utilization:.1%}"] for n, r in reports]
+    emit(render_table(
+        ["Nodes", "RPS", "p50 ms", "p99 ms", "Util"],
+        rows, title=f"Autoscale sweep 10 -> 1000 nodes ({seconds:.2f}s warm)"))
+    _DOC["autoscale_nodes"] = list(AUTOSCALE_NODES)
+    _DOC["autoscale_seconds"] = seconds
+    _DOC["autoscale_p50_seconds"] = {
+        str(n): r.p50_latency for n, r in reports}
+    assert seconds <= AUTOSCALE_BUDGET_SECONDS, (
+        f"10->1000-node sweep took {seconds:.1f}s warm "
+        f"(budget {AUTOSCALE_BUDGET_SECONDS}s)")
+    # Scaling out must never make the tail worse.
+    p50 = [r.p50_latency for _, r in reports]
+    assert p50[-1] <= p50[0] * 1.05

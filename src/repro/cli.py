@@ -64,6 +64,15 @@ def _add_exec_options(sub) -> None:
     sub.add_argument("--cluster", default=None, metavar="NAME",
                      help="cluster preset to model (see 'repro cluster ls'; "
                           "default: the paper's 14-node testbed)")
+    sub.add_argument("--profile", default=None, metavar="SPEC",
+                     help="serving load profile for online-service "
+                          "workloads: 'constant', 'diurnal', 'flash', "
+                          "'sessions', with optional params like "
+                          "'flash:rps=3200:peak=8' (default: constant at "
+                          "the workload's swept rate)")
+    sub.add_argument("--policy", default=None, metavar="P",
+                     help="serving recovery policy: none, shed, hedge, "
+                          "retry, 'shed+hedge', or all (default: none)")
 
 
 def _harness(args, machine=None) -> Harness:
@@ -79,8 +88,27 @@ def _harness(args, machine=None) -> Harness:
     cluster = getattr(args, "cluster", None)
     if cluster is not None:
         kwargs["cluster"] = _cluster(cluster)
+    serving = _serving_options(args)
+    if serving is not None:
+        kwargs["serving"] = serving
     return Harness(machine=machine or XEON_E5645, jobs=jobs, cache=cache,
                    artifacts=artifacts, **kwargs)
+
+
+def _serving_options(args):
+    """ServingOptions from --profile/--policy, or None when unset."""
+    profile = getattr(args, "profile", None)
+    policy = getattr(args, "policy", None)
+    if profile is None and policy is None:
+        return None
+    from repro.serving import LoadProfile, ServingOptions
+
+    try:
+        return ServingOptions(
+            profile=LoadProfile.parse(profile or "constant"),
+            policy=policy or "none")
+    except ValueError as exc:
+        raise SystemExit(str(exc))
 
 
 def cmd_list(args) -> None:
@@ -263,6 +291,116 @@ def cmd_chaos(args) -> None:
             # With recovery on, divergence violates the chaos layer's
             # core invariant -- fail so CI catches it.
             raise SystemExit(1)
+
+
+#: Short names for the three online services (full workload names work
+#: too -- anything the registry resolves whose payload is a Server).
+SERVE_ALIASES = {
+    "nutch": "Nutch Server",
+    "olio": "Olio Server",
+    "rubis": "Rubis Server",
+}
+
+
+def cmd_serve(args) -> None:
+    from dataclasses import replace
+
+    from repro.serving import (
+        AUTOSCALE_NODES, LoadProfile, ServingRun, autoscale_sweep,
+        measure_demand, run_serving,
+    )
+    from repro.uarch.perfctx import PerfContext
+
+    name = SERVE_ALIASES.get(args.server.lower(), args.server)
+    harness = _harness(args, machine=_machine(args.machine))
+    try:
+        prepared = harness._prepared(name, args.scale, seed=args.seed)
+    except KeyError:
+        known = ", ".join(sorted(SERVE_ALIASES))
+        raise SystemExit(f"unknown server {args.server!r}; known: {known} "
+                         "(or a full online-service workload name)")
+    server = prepared.payload
+    if not hasattr(server, "handle"):
+        raise SystemExit(f"{name!r} is not an online service")
+
+    try:
+        profile = LoadProfile.parse(args.profile or "constant")
+        if args.rps is not None:
+            profile = replace(profile, rps=float(args.rps))
+        if args.duration is not None:
+            profile = replace(profile, duration=float(args.duration))
+        profile = profile.with_rate(prepared.details["rate_rps"])
+        cluster = (_cluster(args.cluster) if args.cluster is not None
+                   else None)
+        spec = ServingRun(
+            server=server, profile=profile, policy=args.policy or "none",
+            seed=args.seed, sample_requests=args.sample,
+            slo_seconds=args.slo,
+            **({"cluster": cluster} if cluster is not None else {}))
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+    ctx = PerfContext(harness.machine, seed=args.seed)
+    if args.autoscale:
+        lo, _, hi = args.autoscale.partition(":")
+        try:
+            lo, hi = int(lo), int(hi or 1000)
+        except ValueError:
+            raise SystemExit(f"bad --autoscale {args.autoscale!r}; "
+                             "expected LO:HI node counts (e.g. 10:1000)")
+        counts = [n for n in AUTOSCALE_NODES if lo <= n <= hi]
+        for bound in (lo, hi):
+            if bound not in counts:
+                counts.append(bound)
+        counts.sort()
+        demand = measure_demand(server, spec.cluster, ctx,
+                                sample_requests=args.sample, seed=args.seed)
+        rows = []
+        for nodes, rep in autoscale_sweep(spec, counts, ctx=ctx,
+                                          demand=demand):
+            rows.append([
+                nodes, f"{rep.offered_rps:.0f}", f"{rep.achieved_rps:.0f}",
+                f"{rep.goodput_rps:.0f}", f"{rep.p50_latency * 1e3:.2f}",
+                f"{rep.p99_latency * 1e3:.2f}",
+                f"{rep.p999_latency * 1e3:.2f}",
+                f"{rep.utilization:.0%}", f"{rep.shed_fraction:.1%}",
+            ])
+        print(render_table(
+            ["Nodes", "Offered", "RPS", "Goodput", "p50 ms", "p99 ms",
+             "p999 ms", "Util", "Shed"], rows,
+            title=f"{name}: autoscale sweep, {profile} @ {spec.policy}"))
+        return
+
+    report = run_serving(spec, ctx=ctx)
+    rows = [
+        ["profile", report.profile],
+        ["policy", report.policy],
+        ["requests", f"{report.requests} issued, {report.completed} "
+                     f"completed over {report.duration:.2f} s"],
+        ["offered / achieved", f"{report.offered_rps:.1f} / "
+                               f"{report.achieved_rps:.1f} req/s"],
+        ["goodput (SLO {:.0f} ms)".format(report.slo_seconds * 1e3),
+         f"{report.goodput_rps:.1f} req/s "
+         f"({report.slo_attainment:.1%} within SLO)"],
+        ["latency p50 / p99 / p999",
+         f"{report.p50_latency * 1e3:.2f} / {report.p99_latency * 1e3:.2f} "
+         f"/ {report.p999_latency * 1e3:.2f} ms"],
+        ["latency mean / max", f"{report.mean_latency * 1e3:.2f} / "
+                               f"{report.max_latency * 1e3:.2f} ms"],
+        ["shed / hedged / retried / failed",
+         f"{report.shed_fraction:.1%} / {report.hedged_fraction:.1%} / "
+         f"{report.retried_fraction:.1%} / {report.failed_fraction:.1%}"],
+        ["cpu utilization", f"{report.utilization:.1%} of "
+                            f"{spec.cluster.total_cores} cores"],
+        ["analytic baseline (mm_c)",
+         f"mean {report.queueing.mean_latency * 1e3:.2f} ms "
+         f"(replay/analytic ratio {report.analytic_ratio():.2f})"],
+        ["request mix", ", ".join(f"{k} x{v}"
+                                  for k, v in sorted(report.request_mix.items()))],
+    ]
+    print(render_table(
+        ["Quantity", "Value"], rows,
+        title=f"serve {name} on {spec.cluster.total_nodes} node(s)"))
 
 
 def cmd_cluster(args) -> None:
@@ -533,6 +671,33 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--machine", default="E5645")
     _add_exec_options(chaos)
     chaos.set_defaults(fn=cmd_chaos)
+
+    serve = sub.add_parser(
+        "serve",
+        help="drive an online service with a load profile and report "
+             "the tail-latency SLO study")
+    serve.add_argument("server",
+                       help="nutch, olio, rubis, or a full online-service "
+                            "workload name")
+    serve.add_argument("--rps", type=float, default=None,
+                       help="mean request rate (default: the workload's "
+                            "swept rate at --scale)")
+    serve.add_argument("--duration", type=float, default=None,
+                       help="simulated seconds of traffic (default 20)")
+    serve.add_argument("--scale", type=int, default=1,
+                       help="workload scale for the default rate "
+                            "(rate = 100 x scale req/s)")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--slo", type=float, default=0.5, metavar="SECONDS",
+                       help="latency SLO bound for goodput (default 0.5 s)")
+    serve.add_argument("--sample", type=int, default=500, metavar="N",
+                       help="requests sampled to measure service demand")
+    serve.add_argument("--autoscale", default=None, metavar="LO:HI",
+                       help="sweep cluster size LO..HI nodes (e.g. 10:1000) "
+                            "instead of a single run")
+    serve.add_argument("--machine", default="E5645")
+    _add_exec_options(serve)
+    serve.set_defaults(fn=cmd_serve)
 
     table = sub.add_parser("table", help="regenerate a paper table (1-7)")
     table.add_argument("number")

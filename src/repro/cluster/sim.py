@@ -86,12 +86,21 @@ REPLICATION = 3
 NODE_GAUGE_LIMIT = int(os.environ.get("REPRO_NODE_GAUGE_LIMIT", "32"))
 
 
-def _unit(seed: int, site: str) -> float:
+def unit_hash(seed: int, site: str) -> float:
     """Deterministic uniform [0, 1) variate -- same scheme as the fault
-    injector: a pure blake2b hash, no shared RNG consumed."""
+    injector: a pure blake2b hash, no shared RNG consumed.
+
+    Shared across the execution planes: the event simulator's straggler
+    shaping and the serving request plane's retry jitter both derive
+    their reproducible randomness from this.
+    """
     digest = hashlib.blake2b(f"{seed}|{site}".encode(),
                              digest_size=8).digest()
     return int.from_bytes(digest, "little") / 2.0 ** 64
+
+
+#: Backwards-compatible private alias (pre-serving-plane name).
+_unit = unit_hash
 
 
 class _SimNode:

@@ -109,7 +109,7 @@ class Harness:
     def __init__(self, machine: MachineConfig = XEON_E5645,
                  cluster: ClusterSpec = PAPER_CLUSTER, seed: int = 0,
                  jobs: int = 1, cache=None, trace: bool = False,
-                 artifacts=None):
+                 artifacts=None, serving=None):
         from repro.core.artifacts import resolve_store
         from repro.core.diskcache import resolve_cache
 
@@ -120,6 +120,13 @@ class Harness:
         self.cache = resolve_cache(cache)
         self.trace = bool(trace)
         self.artifacts = resolve_store(artifacts)
+        if serving is not None:
+            from repro.serving.load import ServingOptions
+
+            serving = ServingOptions.parse(serving)
+        #: Default serving options (load profile + recovery policy) for
+        #: online-service workloads; RunSpec.serving overrides per run.
+        self.serving = serving
         self._cache: dict = {}
         self._inputs: dict = {}
 
@@ -205,6 +212,12 @@ class Harness:
         workload = registry.create(spec.workload)
         tracer = Tracer(spec.workload) if spec.trace else None
         ctx = PerfContext(spec.machine, seed=spec.seed, tracer=tracer)
+        # The run seed rides the context so engines without their own
+        # seed plumbing (e.g. the serving load generator) stay keyed to
+        # the spec -- bit-identical serially and across worker pools.
+        ctx.seed = spec.seed
+        if spec.serving is not None:
+            ctx.serving = spec.serving
         injector = None
         if spec.faults is not None:
             from repro.faults.inject import FaultInjector

@@ -49,6 +49,12 @@ class RunSpec:
     #: and keyed into the memo and the disk cache, so chaos runs never
     #: collide with fault-free ones.
     faults: Optional["FaultPlan"] = None
+    #: Optional serving options (see :mod:`repro.serving.load`): a
+    #: ServingOptions or a spec string like ``"diurnal:rps=2000@hedge"``.
+    #: Selects the load profile and recovery policy the online-service
+    #: workloads run under; keyed into the memo and the disk cache like
+    #: ``faults``, so a diurnal run never collides with a constant one.
+    serving: Optional["ServingOptions"] = None
 
     def __post_init__(self):
         if self.scale < 1:
@@ -61,6 +67,12 @@ class RunSpec:
             if not isinstance(self.faults, FaultPlan):
                 object.__setattr__(self, "faults",
                                    FaultPlan.parse(self.faults))
+        if self.serving is not None:
+            from repro.serving.load import ServingOptions
+
+            if not isinstance(self.serving, ServingOptions):
+                object.__setattr__(self, "serving",
+                                   ServingOptions.parse(self.serving))
 
     def resolved(self, harness=None) -> "RunSpec":
         """Fill defaults and normalize the stack to its canonical name.
@@ -72,18 +84,19 @@ class RunSpec:
         """
         from repro.core import registry
 
-        machine, cluster, seed, trace = (
-            self.machine, self.cluster, self.seed, self.trace)
+        machine, cluster, seed, trace, serving = (
+            self.machine, self.cluster, self.seed, self.trace, self.serving)
         if harness is not None:
             machine = machine or harness.machine
             cluster = cluster or harness.cluster
             seed = harness.seed if seed is None else seed
             trace = trace or harness.trace
+            serving = serving or getattr(harness, "serving", None)
         if seed is None:
             seed = 0
         stack = registry.create(self.workload).check_stack(self.stack)
         return replace(self, stack=stack, machine=machine, cluster=cluster,
-                       seed=seed, trace=trace)
+                       seed=seed, trace=trace, serving=serving)
 
     @property
     def is_resolved(self) -> bool:
@@ -102,6 +115,8 @@ class RunSpec:
                repr(self.cluster), self.seed, self.trace)
         if self.faults is not None:
             key += (("faults", str(self.faults)),)
+        if self.serving is not None:
+            key += (("serving", str(self.serving)),)
         return key
 
     def cache_key(self) -> tuple:
@@ -121,6 +136,8 @@ class RunSpec:
             key += ("trace",)
         if self.faults is not None:
             key += (("faults", str(self.faults)),)
+        if self.serving is not None:
+            key += (("serving", str(self.serving)),)
         return key
 
     def _require_resolved(self) -> None:

@@ -29,6 +29,18 @@ TIMING_DETAIL_KEYS = frozenset({
     "hedges",
     "failed_requests",
     "shed_rps",
+    # Serving-plane SLO details: tail latencies and recovery fractions
+    # move under chaos by design (that's what the policies do); the
+    # request *mix* is counted over issued requests and stays in the
+    # fingerprint.
+    "p50_s",
+    "p99_s",
+    "p999_s",
+    "goodput_rps",
+    "shed_fraction",
+    "hedged_fraction",
+    "retried_fraction",
+    "failed_fraction",
 })
 
 

@@ -55,6 +55,9 @@ class NutchServer(Server):
 
     REQUEST_CHURN_BYTES = 192 * 1024
 
+    #: Single-operation mix: every request is a ranked keyword search.
+    MIX = (("search", 1.0),)
+
     #: Maximum postings consulted per query term (WAND-style pruning).
     POSTING_CAP = 2000
 

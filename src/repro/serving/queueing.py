@@ -2,11 +2,18 @@
 
 Online-service workloads are swept from 100 to 3200 requests/second in
 the paper (Table 6) and measured in RPS plus latency (Section 6.1.2).
-The serving simulation executes a sample of requests to measure the
-per-request service demand, then this M/M/c-style model turns offered
-load into achieved throughput and mean latency: below saturation the
-Sakasegawa approximation for the queueing delay, above saturation a
-capacity-bound throughput with rapidly growing latency.
+The serving simulation measures the per-request service demand, then
+this M/M/c-style model turns offered load into achieved throughput and
+mean latency: below saturation the Sakasegawa approximation for the
+queueing delay, above saturation a capacity-bound throughput with
+rapidly growing latency.
+
+Since the open-loop load generator (:mod:`repro.serving.load`) became
+the default serving path, this analytic model is the *validation
+baseline*: below saturation the event replay's mean latency must agree
+with :func:`mm_c` within a tolerance band (the regression oracle the
+serving tests enforce, mirroring the analytic-vs-event gate of the
+cluster plane).
 """
 
 from __future__ import annotations
@@ -17,12 +24,28 @@ from dataclasses import dataclass
 
 @dataclass(frozen=True)
 class QueueingResult:
-    """Steady-state behavior at one offered load."""
+    """Steady-state behavior at one offered load.
+
+    ``offered_rps == 0`` is a *valid idle point*: utilization is 0,
+    throughput is 0, and latency collapses to the bare service demand
+    (an empty system serves the hypothetical next request immediately).
+    SLO sweeps that include an idle rate therefore never divide by
+    zero -- :attr:`utilization` is a derived property with an explicit
+    idle guard, not a stored field.
+    """
 
     offered_rps: float
     throughput_rps: float
     mean_latency: float
-    utilization: float
+    service_seconds: float
+    servers: int
+
+    @property
+    def utilization(self) -> float:
+        """Offered utilization ``rho = lambda * s / c`` (0.0 when idle)."""
+        if self.offered_rps <= 0.0:
+            return 0.0
+        return self.offered_rps * self.service_seconds / self.servers
 
     @property
     def saturated(self) -> bool:
@@ -33,7 +56,10 @@ class QueueingResult:
 
         The M/M/c sojourn-time tail is roughly exponential around the
         mean, so the q-quantile is ``mean * -ln(1 - q)`` -- exact for
-        M/M/1, a standard approximation for M/M/c.
+        M/M/1, a standard approximation for M/M/c.  At
+        ``offered_rps == 0`` the mean is the bare service time, so the
+        percentiles are those of the service distribution alone (still
+        finite and well-defined -- no special-casing needed downstream).
         """
         if not 0.0 < quantile < 1.0:
             raise ValueError("quantile must be in (0, 1)")
@@ -47,12 +73,18 @@ class QueueingResult:
     def p99_latency(self) -> float:
         return self.latency_percentile(0.99)
 
+    @property
+    def p999_latency(self) -> float:
+        return self.latency_percentile(0.999)
+
 
 def mm_c(offered_rps: float, service_seconds: float, servers: int) -> QueueingResult:
     """Approximate M/M/c steady state.
 
     ``service_seconds`` is the mean per-request service demand on one
     server (core); ``servers`` the number of cores serving the mix.
+    ``offered_rps`` may be zero (the idle sweep point); negative load,
+    non-positive service time, or non-positive server counts raise.
     """
     if offered_rps < 0 or service_seconds <= 0 or servers <= 0:
         raise ValueError("load, service time, and servers must be positive")
@@ -69,7 +101,8 @@ def mm_c(offered_rps: float, service_seconds: float, servers: int) -> QueueingRe
             offered_rps=offered_rps,
             throughput_rps=offered_rps,
             mean_latency=service_seconds + wait,
-            utilization=rho,
+            service_seconds=service_seconds,
+            servers=servers,
         )
     # Saturated: throughput pins at capacity; latency grows with the
     # overload ratio (queue builds during the run).
@@ -78,5 +111,6 @@ def mm_c(offered_rps: float, service_seconds: float, servers: int) -> QueueingRe
         offered_rps=offered_rps,
         throughput_rps=capacity,
         mean_latency=service_seconds * (1.0 + 50.0 * (overload - 0.999) + 5.0),
-        utilization=rho,
+        service_seconds=service_seconds,
+        servers=servers,
     )

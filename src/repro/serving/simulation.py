@@ -45,6 +45,11 @@ class Server:
     #: measures for online services (avg 40, except Nutch at 4.1).
     REQUEST_CHURN_BYTES = 5 * 1024 * 1024
 
+    #: Request mix ``((operation, probability), ...)`` -- the load
+    #: generator draws request kinds from this distribution when
+    #: building arrival streams.  Subclasses with a real mix override.
+    MIX = (("request", 1.0),)
+
     def touch_db(self, ctx, region: str) -> float:
         """Declare the paper-scale DB region; return its hot fraction."""
         declared = max(1, self.dataset_bytes() * self.DB_SCALE)
@@ -131,8 +136,19 @@ class ServingSimulation:
 
     def __init__(self, server: Server, cluster: ClusterSpec = SINGLE_NODE,
                  ctx=None, sample_requests: int = 1500, faults=None):
+        import warnings
+
         from repro.faults.inject import resolve_faults
 
+        # Mirrors the suite.suite() precedent: the kwargs constructor
+        # keeps working for one release while callers migrate to the
+        # frozen-spec entrypoint.
+        warnings.warn(
+            "ServingSimulation(...) is deprecated: build a "
+            "repro.serving.ServingRun and call run_serving(spec) (the "
+            "event-replay path); the analytic mm_c model stays available "
+            "as the validation baseline via repro.serving.mm_c",
+            DeprecationWarning, stacklevel=2)
         if sample_requests <= 0:
             raise ValueError("sample_requests must be positive")
         self.server = server

@@ -25,9 +25,10 @@ from repro.core.workload import (
     WorkloadResult,
 )
 from repro.mapreduce import Dfs, MapReduceJob, MapReduceRuntime, OpCost
-from repro.serving import RubisServer, ServingSimulation
+from repro.serving import RubisServer, run_serving
 from repro.uarch.perfctx import context_or_null
 from repro.workloads import inputs
+from repro.workloads.serving_front import serving_details, serving_spec
 
 
 # ---------------------------------------------------------------------------
@@ -58,21 +59,14 @@ class RubisServerWorkload(Workload):
     def run(self, prepared, ctx=None, cluster: ClusterSpec = PAPER_CLUSTER,
             stack: str = None) -> WorkloadResult:
         stack = self.check_stack(stack)
-        from repro.cluster.node import SINGLE_NODE
-
-        # The service tier is one front-end node (load sweeps must be able
-        # to saturate it, as in the paper's 100..3200 req/s geometry).
-        sim = ServingSimulation(prepared.payload, cluster=SINGLE_NODE, ctx=ctx,
-                                sample_requests=500)
-        outcome = sim.run(prepared.details["rate_rps"])
+        ctx = context_or_null(ctx)
+        report = run_serving(serving_spec(prepared, ctx, sample_requests=500),
+                             ctx=ctx)
         return WorkloadResult(
             workload=self.info.name, stack=stack, scale=prepared.scale,
-            input_bytes=prepared.nbytes, cost=outcome.cost,
-            metric_name=RPS, metric_value=outcome.throughput_rps,
-            details={"latency_s": outcome.mean_latency,
-                     "utilization": outcome.queueing.utilization,
-                     "mips": outcome.mips,
-                     "mix": outcome.request_mix},
+            input_bytes=prepared.nbytes, cost=report.cost,
+            metric_name=RPS, metric_value=report.achieved_rps,
+            details=serving_details(report),
         )
 
 

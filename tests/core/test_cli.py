@@ -12,6 +12,7 @@ class TestParser:
         assert set(actions) == {
             "list", "run", "sweep", "table", "figure", "roofline", "rank",
             "export", "trace", "metrics", "chaos", "artifacts", "cluster",
+            "serve",
         }
 
     def test_figure_takes_machine(self):

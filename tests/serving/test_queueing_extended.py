@@ -1,8 +1,42 @@
 """Extended queueing-model tests: percentiles and sweep shapes."""
 
+import math
+
 import pytest
 
 from repro.serving import mm_c
+
+
+class TestIdlePoint:
+    """``offered_rps == 0`` is a valid sweep point, not an error."""
+
+    def test_idle_point_is_valid(self):
+        result = mm_c(0.0, 0.003, 12)
+        assert result.utilization == 0.0
+        assert not result.saturated
+        assert result.throughput_rps == 0.0
+        # An empty system serves the hypothetical next request
+        # immediately: latency collapses to the bare service demand.
+        assert result.mean_latency == pytest.approx(0.003)
+
+    def test_idle_percentiles_finite(self):
+        result = mm_c(0.0, 0.003, 12)
+        p99 = result.latency_percentile(0.99)
+        assert math.isfinite(p99)
+        assert p99 == pytest.approx(0.003 * -math.log(0.01))
+
+    def test_utilization_is_derived_not_stored(self):
+        # utilization = lambda * s / c, computed on demand -- no stored
+        # field to divide by zero on during idle sweeps.
+        result = mm_c(600.0, 0.004, 12)
+        assert result.utilization == pytest.approx(600.0 * 0.004 / 12)
+        assert "utilization" not in vars(result)
+
+    def test_p999_above_p99(self):
+        result = mm_c(100, 0.003, 12)
+        assert result.p999_latency > result.p99_latency > result.p95_latency
+        assert result.p999_latency == pytest.approx(
+            result.latency_percentile(0.999))
 
 
 class TestSweepShape:
