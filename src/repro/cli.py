@@ -31,6 +31,7 @@ from repro.core import registry
 from repro.core.harness import Harness
 from repro.core.report import render_table
 from repro.core.workload import SCALE_FACTORS
+from repro.streaming import EXACTLY_ONCE, STREAM_MODES
 from repro.uarch.hierarchy import MACHINES, XEON_E5645
 
 
@@ -119,6 +120,13 @@ def cmd_list(args) -> None:
                      ", ".join(info.stacks)])
     print(render_table(["#", "Workload", "Type", "Metric", "Stacks"], rows,
                        title="BigDataBench workloads (Table 4)"))
+    rows = []
+    for name in registry.streaming_names():
+        info = registry.STREAMING_CLASSES[name].info
+        rows.append([info.workload_id, info.name, info.app_type, info.metric,
+                     ", ".join(info.stacks)])
+    print(render_table(["#", "Workload", "Type", "Metric", "Modes"], rows,
+                       title="Streaming extensions (repro stream)"))
 
 
 def cmd_run(args) -> None:
@@ -290,6 +298,90 @@ def cmd_chaos(args) -> None:
         if plan.recovery:
             # With recovery on, divergence violates the chaos layer's
             # core invariant -- fail so CI catches it.
+            raise SystemExit(1)
+
+
+#: Short names for the streaming workloads (full names work too).
+STREAM_ALIASES = {
+    "wordcount": "Streaming WordCount",
+    "grep": "Streaming Grep",
+    "sessions": "Streaming Sessions",
+}
+
+
+def cmd_stream(args) -> None:
+    from repro.core.runspec import RunSpec
+    from repro.faults import FaultPlan, diff_outputs
+
+    name = STREAM_ALIASES.get(args.workload.lower(), args.workload)
+    if name not in registry.STREAMING_CLASSES:
+        known = ", ".join(sorted(STREAM_ALIASES))
+        raise SystemExit(f"unknown streaming workload {args.workload!r}; "
+                         f"known: {known} (or a full streaming "
+                         "workload name)")
+    plan = None
+    if args.faults is not None:
+        plan = FaultPlan.parse(args.faults,
+                               recovery=not args.no_recovery,
+                               checkpoint_interval=args.checkpoint_interval)
+    elif args.checkpoint_interval != 8:
+        # Cadence without faults: a valid rule-free plan -- checkpoints
+        # configured, nothing armed.
+        plan = FaultPlan(rules=(),
+                         checkpoint_interval=args.checkpoint_interval)
+
+    harness = _harness(args, machine=_machine(args.machine))
+    base = dict(workload=name, scale=args.scale, stack=args.mode,
+                seed=args.seed)
+    clean = harness.run(RunSpec(**base))
+    chaos = harness.run(RunSpec(**base, faults=plan)) if plan is not None \
+        else None
+
+    shown = chaos if chaos is not None else clean
+    details = shown.result.details
+    rows = [
+        ["mode", shown.result.stack],
+        ["windows committed", str(details["windows"])],
+        ["events in windows", f"{details['events']} "
+                              f"(expected {details['expected_events']})"],
+        ["duplicate windows", str(details["duplicate_windows"])],
+        ["output digest", details["digest"]],
+        ["checkpoints / restores",
+         f"{details['checkpoints']} / {details['restores']}"],
+        ["replayed batches", str(details["replayed_batches"])],
+        ["throttled batches (backpressure)",
+         f"{details['throttled_batches']} "
+         f"({details['backpressure_stalls']} stalls)"],
+        ["watermark lag", f"{details['watermark_lag_s']:.2f} s"],
+        ["modeled time", f"{shown.modeled_seconds:.1f} s"],
+        ["metric", f"{shown.result.metric_name} = "
+                   f"{shown.result.metric_value:.4g}"],
+    ]
+    if plan is not None:
+        rows.insert(0, ["fault plan", str(plan)])
+        overhead = (shown.modeled_seconds / clean.modeled_seconds - 1.0) \
+            * 100 if clean.modeled_seconds else 0.0
+        rows.append(["runtime overhead", f"{overhead:+.1f}%"])
+    print(render_table(
+        ["Quantity", "Value"], rows,
+        title=f"stream: {name} @ {args.scale}x ({shown.result.stack})"))
+
+    if chaos is None or not plan.rules:
+        return
+    diffs = diff_outputs(clean, chaos)
+    if not diffs:
+        print("  output: IDENTICAL to the fault-free run")
+    elif shown.result.stack == "at-least-once":
+        # Duplicates under replay are this mode's contract, not a bug.
+        print(f"  output: {details['duplicate_windows']} duplicate "
+              "window(s) vs the fault-free run (at-least-once replay)")
+    else:
+        print("  output: DIVERGED from the fault-free run")
+        for diff in diffs:
+            print(f"    {diff}")
+        if plan.recovery:
+            # Exactly-once with recovery must be bit-identical -- fail
+            # so CI catches an invariant violation.
             raise SystemExit(1)
 
 
@@ -671,6 +763,31 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--machine", default="E5645")
     _add_exec_options(chaos)
     chaos.set_defaults(fn=cmd_chaos)
+
+    stream = sub.add_parser(
+        "stream",
+        help="run a streaming workload through the checkpoint-barrier "
+             "dataflow engine, optionally under a fault plan")
+    stream.add_argument("workload",
+                        help="wordcount, grep, sessions, or a full "
+                             "streaming workload name")
+    stream.add_argument("--mode", choices=list(STREAM_MODES),
+                        default=EXACTLY_ONCE,
+                        help="sink replay mode (default exactly-once)")
+    stream.add_argument("--faults", default=None, metavar="SPEC",
+                        help="fault spec like 'operator_crash:rate=0.1;"
+                             "channel_drop:rate=0.3' (default: no faults)")
+    stream.add_argument("--no-recovery", action="store_true",
+                        help="disable restore-from-barrier recovery "
+                             "(faults destroy state instead)")
+    stream.add_argument("--checkpoint-interval", type=int, default=8,
+                        metavar="N", help="emit a checkpoint barrier every "
+                                          "N source batches (default 8)")
+    stream.add_argument("--scale", type=int, default=1)
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument("--machine", default="E5645")
+    _add_exec_options(stream)
+    stream.set_defaults(fn=cmd_stream)
 
     serve = sub.add_parser(
         "serve",

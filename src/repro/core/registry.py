@@ -1,4 +1,12 @@
-"""The workload registry: every Table 4 row, constructible by name."""
+"""The workload registry: every Table 4 row, constructible by name.
+
+Two tiers: :data:`WORKLOAD_CLASSES` is exactly the paper's 19 Table 4
+rows (``workload_names`` and the figure/suite surfaces stay pinned to
+them), and :data:`STREAMING_CLASSES` is the engine-backed streaming
+extension family -- resolvable through :func:`create` / :func:`info`
+and the RunSpec/Harness path, listed by :func:`streaming_names`, but
+never mixed into the paper tables.
+"""
 
 from __future__ import annotations
 
@@ -21,6 +29,9 @@ from repro.workloads import (
     ScanWorkload,
     SelectQueryWorkload,
     SortWorkload,
+    StreamingGrepWorkload,
+    StreamingSessionsWorkload,
+    StreamingWordCountWorkload,
     WordCountWorkload,
     WriteWorkload,
 )
@@ -39,9 +50,18 @@ WORKLOAD_CLASSES = {
     )
 }
 
+#: The streaming extension family (see :mod:`repro.workloads.streaming`).
+STREAMING_CLASSES = {
+    cls.info.name: cls
+    for cls in (
+        StreamingWordCountWorkload, StreamingGrepWorkload,
+        StreamingSessionsWorkload,
+    )
+}
+
 
 class UnknownWorkloadError(ValueError, KeyError):
-    """Raised for a workload name not in Table 4.
+    """Raised for a workload name not in Table 4 (or its extensions).
 
     Subclasses both ValueError (it is a bad argument -- the message
     lists every valid choice) and KeyError (the registry is a mapping,
@@ -49,7 +69,7 @@ class UnknownWorkloadError(ValueError, KeyError):
     """
 
     def __init__(self, name: str):
-        known = ", ".join(workload_names())
+        known = ", ".join(all_names())
         super().__init__(f"unknown workload {name!r}; known: {known}")
 
     def __str__(self) -> str:  # KeyError would repr() the message
@@ -61,23 +81,34 @@ def workload_names() -> list:
     return sorted(WORKLOAD_CLASSES, key=lambda n: WORKLOAD_CLASSES[n].info.workload_id)
 
 
+def streaming_names() -> list:
+    """The streaming extension family, in workload-id order."""
+    return sorted(STREAMING_CLASSES,
+                  key=lambda n: STREAMING_CLASSES[n].info.workload_id)
+
+
+def all_names() -> list:
+    """Every constructible name: Table 6 order, then the extensions."""
+    return workload_names() + streaming_names()
+
+
 def create(name: str, **kwargs) -> Workload:
-    """Instantiate a workload by its Table 4 name.
+    """Instantiate a workload by its Table 4 (or extension) name.
 
     An unknown name fails fast with :class:`UnknownWorkloadError` --
     callers building a :class:`~repro.core.runspec.RunSpec` get the
     valid choices immediately instead of a deep registry KeyError.
     """
-    try:
-        cls = WORKLOAD_CLASSES[name]
-    except KeyError:
-        raise UnknownWorkloadError(name) from None
+    cls = WORKLOAD_CLASSES.get(name) or STREAMING_CLASSES.get(name)
+    if cls is None:
+        raise UnknownWorkloadError(name)
     return cls(**kwargs)
 
 
 def info(name: str):
     """The Table 4 metadata row of one workload."""
-    return WORKLOAD_CLASSES[name].info if name in WORKLOAD_CLASSES else create(name)
+    cls = WORKLOAD_CLASSES.get(name) or STREAMING_CLASSES.get(name)
+    return cls.info if cls is not None else create(name)
 
 
 def by_app_type(app_type: str) -> list:

@@ -8,6 +8,11 @@ rate, with either regular (fixed-interval) or irregular (bursty,
 Poisson-modulated) refresh.
 
 Streams are deterministic given their seed, so workloads replay them.
+The arrival schedule and the payloads draw from *separate keyed
+substreams* of the seed (``default_rng([seed, salt])``), so a model that
+starts consuming more randomness per batch can never shift a single
+timestamp -- the property the streaming engine's event-time replay
+relies on.
 """
 
 from __future__ import annotations
@@ -15,6 +20,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+
+#: Substream salts: the arrival schedule and the payload generator draw
+#: from independently keyed generators of the same stream seed.
+_SCHEDULE_SALT = 1
+_PAYLOAD_SALT = 2
 
 
 @dataclass(frozen=True)
@@ -72,15 +82,24 @@ class DataStream:
         self.seed = seed
 
     def take(self, count: int) -> list:
-        """Materialize the first ``count`` batches with timestamps."""
+        """Materialize the first ``count`` batches with timestamps.
+
+        The first batch arrives at timestamp 0 (the stream's first
+        refresh is available immediately); later arrivals follow the
+        rate profile's gaps.  Timestamps come from a schedule substream
+        keyed separately from the payload substream, so payload models
+        that consume more (or less) randomness never perturb arrival
+        times.
+        """
         if count < 0:
             raise ValueError("count must be non-negative")
-        rng = np.random.default_rng(self.seed)
-        gaps = self.rate.intervals(count, rng)
-        timestamps = np.cumsum(gaps)
+        schedule_rng = np.random.default_rng([self.seed, _SCHEDULE_SALT])
+        payload_rng = np.random.default_rng([self.seed, _PAYLOAD_SALT])
+        gaps = self.rate.intervals(count, schedule_rng)
+        timestamps = np.cumsum(gaps) - (gaps[0] if count else 0.0)
         batches = []
         for sequence in range(count):
-            payload, nbytes = self.make_batch(sequence, rng)
+            payload, nbytes = self.make_batch(sequence, payload_rng)
             batches.append(StreamBatch(
                 sequence=sequence,
                 timestamp=float(timestamps[sequence]),
@@ -90,11 +109,18 @@ class DataStream:
         return batches
 
     def bytes_per_second(self, count: int = 64) -> float:
-        """Observed data rate over the first ``count`` batches."""
+        """Observed data rate over the first ``count`` batches.
+
+        Each batch occupies one arrival interval, so the observed span
+        is the last timestamp plus one mean interval -- never zero, even
+        for a single batch landing at timestamp 0 on a regular schedule
+        (which the old ``timestamp <= 0`` guard misreported as 0.0 B/s).
+        """
         batches = self.take(count)
-        if not batches or batches[-1].timestamp <= 0:
+        if not batches:
             return 0.0
-        return sum(b.nbytes for b in batches) / batches[-1].timestamp
+        span = batches[-1].timestamp + 1.0 / self.rate.batches_per_second
+        return sum(b.nbytes for b in batches) / span
 
 
 def text_stream(model, docs_per_batch: int, rate: RateProfile,

@@ -30,6 +30,7 @@ from repro.faults.plan import (
     FAULT_KINDS,
     FaultPlan,
     FaultRule,
+    UnknownFaultKindError,
 )
 from repro.faults.verify import diff_outputs, functional_fingerprint
 
@@ -43,6 +44,7 @@ __all__ = [
     "FaultRule",
     "NULL_FAULTS",
     "NullFaultInjector",
+    "UnknownFaultKindError",
     "diff_outputs",
     "functional_fingerprint",
     "resolve_faults",

@@ -46,6 +46,16 @@ from dataclasses import dataclass, field
 #: ``slow_nic``      one node's NIC degrades to 1/factor bandwidth for
 #:                   the whole run (event-driven simulator resource
 #:                   modifier; no recovery -- flows just take longer).
+#: ``operator_crash`` a streaming dataflow operator dies mid-window
+#:                   (recovery: restore every operator from the last
+#:                   completed checkpoint barrier + source replay).
+#: ``channel_drop``  a streaming channel loses its in-flight records
+#:                   (recovery: restore-from-barrier covers the loss;
+#:                   without recovery the records are gone).
+#: ``watermark_skew`` the source's watermark lags true event time by
+#:                   ``factor`` extra arrival intervals (standing;
+#:                   graceful degradation -- windows fire later and
+#:                   buffer more state, but outputs never change).
 FAULT_KINDS = (
     "task_crash",
     "node_kill",
@@ -58,7 +68,30 @@ FAULT_KINDS = (
     "overload",
     "slow_disk",
     "slow_nic",
+    "operator_crash",
+    "channel_drop",
+    "watermark_skew",
 )
+
+
+class UnknownFaultKindError(ValueError, KeyError):
+    """Raised for a fault kind no engine knows how to inject.
+
+    Mirrors :class:`repro.core.registry.UnknownWorkloadError`: it
+    subclasses both ValueError (a bad argument -- the message lists
+    every valid kind) and KeyError (callers treating FAULT_KINDS as a
+    registry catch the lookup that way), and it fires at *parse* time,
+    so a typo'd spec string fails when the plan is built instead of
+    deep inside injection.
+    """
+
+    def __init__(self, kind: str):
+        super().__init__(
+            f"unknown fault kind {kind!r}; valid kinds: "
+            f"{', '.join(FAULT_KINDS)}")
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0]
 
 #: The kitchen-sink plan the ``repro chaos`` CLI uses when ``--faults``
 #: is omitted: every kind is armed; each engine family only consults the
@@ -66,7 +99,8 @@ FAULT_KINDS = (
 DEFAULT_CHAOS_SPEC = (
     "task_crash:rate=0.25;straggler:rate=0.1;node_kill:node=1;"
     "rank_crash:at=2;msg_drop:rate=0.05;crash:at=700;"
-    "block_corrupt:rate=0.02;timeout:rate=0.08;overload:rate=1.0"
+    "block_corrupt:rate=0.02;timeout:rate=0.08;overload:rate=1.0;"
+    "operator_crash:rate=0.15;channel_drop:rate=0.05;watermark_skew:factor=3"
 )
 
 
@@ -91,9 +125,7 @@ class FaultRule:
 
     def __post_init__(self):
         if self.kind not in FAULT_KINDS:
-            raise ValueError(
-                f"unknown fault kind {self.kind!r}; valid kinds: "
-                f"{', '.join(FAULT_KINDS)}")
+            raise UnknownFaultKindError(self.kind)
         if not 0.0 <= self.rate <= 1.0:
             raise ValueError(f"rate must be in [0, 1], got {self.rate}")
         object.__setattr__(self, "at", tuple(int(t) for t in self.at))
@@ -104,7 +136,8 @@ class FaultRule:
         if self.node < 0:
             raise ValueError(f"node must be >= 0, got {self.node}")
         if self.rate == 0.0 and not self.at and self.kind not in (
-                "node_kill", "overload", "slow_disk", "slow_nic"):
+                "node_kill", "overload", "slow_disk", "slow_nic",
+                "watermark_skew"):
             raise ValueError(
                 f"rule {self.kind!r} would never fire: give rate= or at=")
 
@@ -201,6 +234,7 @@ class FaultPlan:
         if isinstance(spec, FaultPlan):
             return spec
         body = str(spec).strip()
+        saw_flag = False
         while body.endswith("]") and "[" in body:
             body, _, flag = body.rpartition("[")
             flag = flag[:-1].strip()
@@ -210,11 +244,15 @@ class FaultPlan:
                 checkpoint_interval = int(flag[len("ckpt="):])
             else:
                 raise ValueError(f"unknown plan flag {flag!r} in {spec!r}")
+            saw_flag = True
             body = body.strip()
         rules = tuple(
             FaultRule.parse(part)
             for part in body.split(";") if part.strip())
-        if not rules:
+        if not rules and not saw_flag:
+            # A flag-only spec (e.g. "[ckpt=4]") is a valid rule-free
+            # plan: checkpointing configured, nothing armed.  A fully
+            # empty spec is still a mistake.
             raise ValueError(f"fault spec {spec!r} contains no rules")
         return cls(rules=rules, recovery=recovery,
                    checkpoint_interval=checkpoint_interval)
@@ -233,4 +271,5 @@ class FaultPlan:
         suffix = "" if self.recovery else " [no-recovery]"
         if self.checkpoint_interval != 2:
             suffix += f" [ckpt={self.checkpoint_interval}]"
-        return body + suffix
+        # A rule-free plan (flags only) strips to just the flags.
+        return (body + suffix).strip()

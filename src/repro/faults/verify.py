@@ -41,6 +41,19 @@ TIMING_DETAIL_KEYS = frozenset({
     "hedged_fraction",
     "retried_fraction",
     "failed_fraction",
+    # Streaming-engine bookkeeping: checkpoint/restore/replay counts,
+    # backpressure throttling, and watermark lag all move under chaos
+    # (more of each is exactly what recovery and degradation look like);
+    # the window *outputs* -- digest, window count, event totals,
+    # duplicate deltas -- stay in the fingerprint.
+    "checkpoints",
+    "restores",
+    "replayed_batches",
+    "throttled_batches",
+    "backpressure_stalls",
+    "cycles",
+    "watermark_lag_s",
+    "events_per_second",
 })
 
 

@@ -1,0 +1,58 @@
+"""Streaming dataflow engine over the velocity (``datagen/stream``) axis.
+
+A Flink-like pipeline -- replayable source, keyed/windowed operators,
+transactional sink -- with event-time watermarks, bounded-channel
+backpressure, and aligned checkpoint barriers.  Its robustness contract
+extends the chaos layer's bit-identical-output invariant from bounded
+jobs to unbounded inputs: any recovery-enabled fault plan commits the
+exact emission sequence of the fault-free run in ``exactly-once`` mode,
+and demonstrably duplicates it in ``at-least-once`` mode.
+
+See ``docs/STREAMING.md`` for the engine model.
+"""
+
+from repro.streaming.channel import Barrier, Channel, DataBatch, Watermark
+from repro.streaming.engine import (
+    AT_LEAST_ONCE,
+    CHECKPOINT_FIXED_SECONDS,
+    Dataflow,
+    EXACTLY_ONCE,
+    MAX_RESTARTS,
+    RESTART_FIXED_SECONDS,
+    STREAM_MODES,
+    StreamResult,
+    StreamRuntime,
+    StreamSink,
+)
+from repro.streaming.operators import (
+    Emission,
+    FilterOperator,
+    KeyedWindowAggregate,
+    SessionAggregate,
+    StreamOperator,
+)
+from repro.streaming.windows import SlidingWindow, TumblingWindow
+
+__all__ = [
+    "AT_LEAST_ONCE",
+    "Barrier",
+    "CHECKPOINT_FIXED_SECONDS",
+    "Channel",
+    "DataBatch",
+    "Dataflow",
+    "EXACTLY_ONCE",
+    "Emission",
+    "FilterOperator",
+    "KeyedWindowAggregate",
+    "MAX_RESTARTS",
+    "RESTART_FIXED_SECONDS",
+    "STREAM_MODES",
+    "SessionAggregate",
+    "SlidingWindow",
+    "StreamOperator",
+    "StreamResult",
+    "StreamRuntime",
+    "StreamSink",
+    "TumblingWindow",
+    "Watermark",
+]

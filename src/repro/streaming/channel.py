@@ -1,0 +1,128 @@
+"""Stream elements and the bounded channels that carry them.
+
+A dataflow edge carries three element kinds, in arrival order:
+
+* :class:`DataBatch` -- one timestamped batch of keyed records (the
+  unit ``datagen/stream.py`` produces, re-expressed as key/value
+  arrays);
+* :class:`Watermark` -- "no event earlier than ``time`` will arrive",
+  the trigger that lets event-time windows fire;
+* :class:`Barrier` -- a Chandy-Lamport checkpoint marker carrying the
+  source offset it snapshots (everything before the barrier belongs to
+  the checkpoint, everything after does not).
+
+Channels are bounded in *data* batches only: markers always pass, so
+backpressure can never wedge a checkpoint or starve watermarks -- it
+only throttles data, which is exactly the graceful-degradation contract
+(slow down, never drop).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DataBatch:
+    """One keyed record batch at one event time.
+
+    ``sequence`` is the source offset that produced it (replay keeps it
+    stable); all records of a batch share the batch's event time.
+    """
+
+    sequence: int
+    event_time: float
+    keys: np.ndarray
+    values: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return int(len(self.keys))
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.keys.nbytes + self.values.nbytes)
+
+
+@dataclass(frozen=True)
+class Watermark:
+    """Event-time progress marker: no later element is earlier than this."""
+
+    time: float
+
+
+@dataclass(frozen=True)
+class Barrier:
+    """Aligned checkpoint marker ``barrier_id``, cut at ``source_offset``."""
+
+    barrier_id: int
+    source_offset: int
+
+
+class Channel:
+    """A bounded FIFO edge between two operators.
+
+    ``capacity`` bounds the number of in-flight :class:`DataBatch`
+    elements; :class:`Watermark` and :class:`Barrier` markers are never
+    refused (a full channel must still make progress on control flow).
+    A producer checks :attr:`full` before pushing data -- refusing is
+    how backpressure propagates upstream to the source.
+    """
+
+    def __init__(self, capacity: int = 8, name: str = "chan"):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.name = name
+        self._elems: deque = deque()
+        self._data_count = 0
+
+    def __len__(self) -> int:
+        return len(self._elems)
+
+    @property
+    def data_count(self) -> int:
+        return self._data_count
+
+    @property
+    def full(self) -> bool:
+        return self._data_count >= self.capacity
+
+    def push(self, elem) -> None:
+        if isinstance(elem, DataBatch):
+            if self.full:
+                raise OverflowError(
+                    f"channel {self.name} full ({self.capacity} batches)")
+            self._data_count += 1
+        self._elems.append(elem)
+
+    def peek(self):
+        return self._elems[0] if self._elems else None
+
+    def pop(self):
+        elem = self._elems.popleft()
+        if isinstance(elem, DataBatch):
+            self._data_count -= 1
+        return elem
+
+    def drop_data(self) -> list:
+        """The ``channel_drop`` fault: lose every in-flight data batch.
+
+        Markers stay -- a real network fault loses payloads, while the
+        engine's control markers are what recovery re-drives.  Returns
+        the dropped batches so the injector can record the loss.
+        """
+        dropped = [e for e in self._elems if isinstance(e, DataBatch)]
+        if dropped:
+            self._elems = deque(
+                e for e in self._elems if not isinstance(e, DataBatch))
+            self._data_count = 0
+        return dropped
+
+    def clear(self) -> None:
+        """Discard everything (restore-from-barrier re-drives the edge)."""
+        self._elems.clear()
+        self._data_count = 0

@@ -1,0 +1,62 @@
+"""Event-time window assigners (tumbling and sliding).
+
+A window is identified by its start; ``assign`` maps one event time to
+every window start that contains it, and ``end`` closes the half-open
+interval ``[start, start + size)``.  Session windows have no static
+assigner -- their extent depends on the data -- so they live in the
+session operator instead (:class:`~repro.streaming.operators.SessionAggregate`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TumblingWindow:
+    """Fixed, non-overlapping windows of ``size`` seconds."""
+
+    size: float
+
+    def __post_init__(self):
+        if self.size <= 0:
+            raise ValueError(f"window size must be positive, got {self.size}")
+
+    def assign(self, event_time: float) -> tuple:
+        return ((event_time // self.size) * self.size,)
+
+    def end(self, start: float) -> float:
+        return start + self.size
+
+
+@dataclass(frozen=True)
+class SlidingWindow:
+    """Overlapping windows of ``size`` seconds every ``slide`` seconds.
+
+    ``slide`` must divide into ``size`` coverage (slide <= size), so an
+    event falls in ``size / slide`` windows.
+    """
+
+    size: float
+    slide: float
+
+    def __post_init__(self):
+        if self.size <= 0:
+            raise ValueError(f"window size must be positive, got {self.size}")
+        if not 0 < self.slide <= self.size:
+            raise ValueError(
+                f"slide must be in (0, size], got {self.slide}")
+
+    def assign(self, event_time: float) -> tuple:
+        # The latest window starting at-or-before the event, then every
+        # earlier slide that still covers it.
+        latest = (event_time // self.slide) * self.slide
+        starts = []
+        start = latest
+        while start > event_time - self.size:
+            starts.append(start)
+            start -= self.slide
+        return tuple(sorted(starts))
+
+    def end(self, start: float) -> float:
+        return start + self.size

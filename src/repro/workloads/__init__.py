@@ -1,4 +1,5 @@
-"""The 19 BigDataBench workloads (paper Table 4)."""
+"""The 19 BigDataBench workloads (paper Table 4), plus the streaming
+extension family (:mod:`repro.workloads.streaming`)."""
 
 from repro.workloads.bfs import BfsWorkload
 from repro.workloads.cloudoltp import ReadWorkload, ScanWorkload, WriteWorkload
@@ -23,6 +24,11 @@ from repro.workloads.social import (
     KmeansWorkload,
     OlioServerWorkload,
 )
+from repro.workloads.streaming import (
+    StreamingGrepWorkload,
+    StreamingSessionsWorkload,
+    StreamingWordCountWorkload,
+)
 
 __all__ = [
     "AggregateQueryWorkload",
@@ -42,6 +48,9 @@ __all__ = [
     "ScanWorkload",
     "SelectQueryWorkload",
     "SortWorkload",
+    "StreamingGrepWorkload",
+    "StreamingSessionsWorkload",
+    "StreamingWordCountWorkload",
     "WordCountWorkload",
     "WriteWorkload",
 ]

@@ -12,7 +12,7 @@ class TestParser:
         assert set(actions) == {
             "list", "run", "sweep", "table", "figure", "roofline", "rank",
             "export", "trace", "metrics", "chaos", "artifacts", "cluster",
-            "serve",
+            "serve", "stream",
         }
 
     def test_figure_takes_machine(self):
@@ -101,6 +101,32 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "DIVERGED" in out
         assert "work lost" in out
+
+    def test_stream_fault_free(self, capsys):
+        assert main(["stream", "wordcount", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "Streaming WordCount" in out
+        assert "duplicate windows" in out
+        assert "checkpoints / restores" in out
+
+    def test_stream_exactly_once_identical_under_faults(self, capsys):
+        assert main(["stream", "grep", "--no-cache",
+                     "--faults", "operator_crash:rate=0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "IDENTICAL" in out
+        assert "exactly-once" in out
+
+    def test_stream_at_least_once_reports_duplicates(self, capsys):
+        assert main(["stream", "wordcount", "--no-cache",
+                     "--mode", "at-least-once", "--checkpoint-interval",
+                     "24", "--faults", "operator_crash:rate=0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "duplicate window(s)" in out
+        assert "at-least-once replay" in out
+
+    def test_stream_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main(["stream", "mapreduce"])
 
     def test_cluster_ls(self, capsys):
         assert main(["cluster", "ls"]) == 0

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.faults import DEFAULT_CHAOS_SPEC, FAULT_KINDS, FaultClock
+from repro.faults import (
+    DEFAULT_CHAOS_SPEC,
+    FAULT_KINDS,
+    FaultClock,
+    UnknownFaultKindError,
+)
 from repro.faults.plan import FaultPlan, FaultRule
 
 
@@ -52,10 +57,30 @@ class TestFaultRule:
     def test_str_round_trips(self):
         specs = ["task_crash:rate=0.3", "rank_crash:at=2|4",
                  "node_kill:node=1", "straggler:rate=0.1:factor=6",
-                 "overload:rate=1"]
+                 "overload:rate=1", "operator_crash:rate=0.15",
+                 "channel_drop:at=3|7", "watermark_skew:factor=4"]
         for spec in specs:
             rule = FaultRule.parse(spec)
             assert FaultRule.parse(str(rule)) == rule
+
+    def test_streaming_kinds_are_registered(self):
+        for kind in ("operator_crash", "channel_drop", "watermark_skew"):
+            assert kind in FAULT_KINDS
+
+    def test_watermark_skew_is_standing(self):
+        # Skew is a standing condition (like overload): no trigger needed.
+        rule = FaultRule.parse("watermark_skew:factor=3")
+        assert rule.factor == pytest.approx(3.0)
+        assert rule.rate == 0.0
+
+    def test_unknown_kind_error_type_and_message(self):
+        with pytest.raises(UnknownFaultKindError) as excinfo:
+            FaultRule.parse("meteor_strike:rate=1.0")
+        # Mirrors UnknownWorkloadError: a bad argument AND a mapping miss.
+        assert isinstance(excinfo.value, ValueError)
+        assert isinstance(excinfo.value, KeyError)
+        assert "meteor_strike" in str(excinfo.value)
+        assert "operator_crash" in str(excinfo.value)
 
 
 class TestFaultPlan:
@@ -74,8 +99,33 @@ class TestFaultPlan:
             FaultPlan.parse("task_crash:rate=0.3"),
             FaultPlan.parse("crash:at=700", recovery=False),
             FaultPlan.parse("rank_crash:at=2", checkpoint_interval=4),
+            FaultPlan.parse("operator_crash:rate=0.1;channel_drop:at=2",
+                            checkpoint_interval=24),
+            FaultPlan.parse("watermark_skew:factor=3", recovery=False,
+                            checkpoint_interval=16),
+            FaultPlan.parse("operator_crash:rate=0.1 "
+                            "[no-recovery] [ckpt=12]"),
         ):
             assert FaultPlan.parse(str(plan)) == plan
+
+    def test_flag_only_spec_parses(self):
+        # Checkpoint cadence without armed faults is a valid plan (the
+        # `repro stream --checkpoint-interval N` path).
+        plan = FaultPlan.parse("[ckpt=4]")
+        assert plan.rules == ()
+        assert plan.checkpoint_interval == 4
+        assert plan.recovery
+        assert FaultPlan.parse(str(plan)) == plan
+
+    def test_empty_spec_still_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse("")
+        with pytest.raises(ValueError):
+            FaultPlan.parse("   ")
+
+    def test_unknown_kind_propagates_from_plan_parse(self):
+        with pytest.raises(UnknownFaultKindError):
+            FaultPlan.parse("task_crash:rate=0.3;meteor_strike:rate=1.0")
 
     def test_no_recovery_suffix_in_str(self):
         plan = FaultPlan.parse("crash:at=1", recovery=False)
@@ -114,3 +164,21 @@ class TestFaultClock:
         clock.tick("y")
         assert set(clock.sites()) == {"x", "y"}
         assert len(clock) == 2
+
+    def test_site_isolation_under_interleaving(self):
+        # Interleaved ticking must advance each site independently --
+        # the property that keeps per-operator fault schedules stable
+        # when the runtime visits operators in different orders.
+        a, b = FaultClock(), FaultClock()
+        for site in ("op:wc", "chan0", "op:wc", "op:wc", "chan0"):
+            a.tick(site)
+        for site in ("chan0", "op:wc", "op:wc", "chan0", "op:wc"):
+            b.tick(site)
+        assert a.peek("op:wc") == b.peek("op:wc") == 3
+        assert a.peek("chan0") == b.peek("chan0") == 2
+
+    def test_peek_never_advances(self):
+        clock = FaultClock()
+        clock.tick("s")
+        for _ in range(3):
+            assert clock.peek("s") == 1

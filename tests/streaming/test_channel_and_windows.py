@@ -1,0 +1,144 @@
+"""Channel semantics (bounded data, free markers) and window assigners."""
+
+import numpy as np
+import pytest
+
+from repro.streaming import (
+    Barrier,
+    Channel,
+    DataBatch,
+    SlidingWindow,
+    TumblingWindow,
+    Watermark,
+)
+
+
+def batch(seq=0, t=0.0, keys=(1,), values=None):
+    k = np.asarray(keys, dtype=np.int64)
+    v = (np.asarray(values, dtype=np.int64) if values is not None
+         else np.ones(len(k), dtype=np.int64))
+    return DataBatch(sequence=seq, event_time=t, keys=k, values=v)
+
+
+class TestChannel:
+    def test_fifo_order(self):
+        chan = Channel(capacity=4)
+        for i in range(3):
+            chan.push(batch(seq=i))
+        assert [chan.pop().sequence for _ in range(3)] == [0, 1, 2]
+        assert len(chan) == 0
+
+    def test_peek_does_not_consume(self):
+        chan = Channel()
+        chan.push(batch(seq=7))
+        assert chan.peek().sequence == 7
+        assert len(chan) == 1
+        assert Channel().peek() is None
+
+    def test_capacity_counts_only_data_batches(self):
+        chan = Channel(capacity=2)
+        chan.push(batch(seq=0))
+        chan.push(Watermark(1.0))
+        chan.push(Barrier(1, 1))
+        assert not chan.full  # one data batch, two markers
+        chan.push(batch(seq=1))
+        assert chan.full
+        assert chan.data_count == 2
+        assert len(chan) == 4
+
+    def test_push_data_into_full_channel_raises(self):
+        chan = Channel(capacity=1)
+        chan.push(batch(seq=0))
+        with pytest.raises(OverflowError):
+            chan.push(batch(seq=1))
+
+    def test_markers_always_pass_when_full(self):
+        chan = Channel(capacity=1)
+        chan.push(batch(seq=0))
+        chan.push(Watermark(2.0))
+        chan.push(Barrier(3, 1))
+        assert len(chan) == 3
+
+    def test_pop_releases_capacity(self):
+        chan = Channel(capacity=1)
+        chan.push(batch(seq=0))
+        chan.pop()
+        chan.push(batch(seq=1))  # must not raise
+        assert chan.data_count == 1
+
+    def test_drop_data_keeps_markers(self):
+        chan = Channel(capacity=4)
+        chan.push(batch(seq=0))
+        chan.push(Watermark(1.0))
+        chan.push(batch(seq=1))
+        chan.push(Barrier(1, 2))
+        dropped = chan.drop_data()
+        assert [b.sequence for b in dropped] == [0, 1]
+        assert chan.data_count == 0
+        assert [type(chan.pop()) for _ in range(len(chan))] \
+            == [Watermark, Barrier]
+
+    def test_drop_data_empty_is_noop(self):
+        chan = Channel()
+        chan.push(Watermark(1.0))
+        assert chan.drop_data() == []
+        assert len(chan) == 1
+
+    def test_clear_discards_everything(self):
+        chan = Channel(capacity=1)
+        chan.push(batch(seq=0))
+        chan.push(Watermark(1.0))
+        chan.clear()
+        assert len(chan) == 0
+        assert not chan.full
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Channel(capacity=0)
+
+
+class TestDataBatch:
+    def test_size_and_nbytes(self):
+        b = batch(keys=(1, 2, 3))
+        assert b.size == 3
+        assert b.nbytes == 3 * 8 * 2  # int64 keys + int64 values
+
+
+class TestTumblingWindow:
+    def test_assign_is_single_window(self):
+        win = TumblingWindow(1.0)
+        assert win.assign(0.0) == (0.0,)
+        assert win.assign(0.99) == (0.0,)
+        assert win.assign(2.7) == (2.0,)
+
+    def test_end_is_half_open(self):
+        win = TumblingWindow(1.0)
+        assert win.end(2.0) == 3.0
+        # t == end belongs to the next window.
+        assert win.assign(3.0) == (3.0,)
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ValueError):
+            TumblingWindow(0.0)
+
+
+class TestSlidingWindow:
+    def test_event_covered_by_size_over_slide_windows(self):
+        win = SlidingWindow(size=2.0, slide=1.0)
+        assert win.assign(2.5) == (1.0, 2.0)
+        assert win.assign(0.5) == (-1.0, 0.0)
+
+    def test_boundary_belongs_to_later_windows(self):
+        win = SlidingWindow(size=2.0, slide=1.0)
+        # [0,2) no longer covers t=2.0; [1,3) and [2,4) do.
+        assert win.assign(2.0) == (1.0, 2.0)
+
+    def test_slide_equal_to_size_is_tumbling(self):
+        win = SlidingWindow(size=1.0, slide=1.0)
+        assert win.assign(1.5) == (1.0,)
+
+    def test_invalid_slide_rejected(self):
+        with pytest.raises(ValueError):
+            SlidingWindow(size=1.0, slide=2.0)
+        with pytest.raises(ValueError):
+            SlidingWindow(size=1.0, slide=0.0)

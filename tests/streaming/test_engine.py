@@ -1,0 +1,239 @@
+"""StreamRuntime semantics: correctness, determinism, backpressure,
+checkpoint cadence, and direct-injector fault behavior."""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultPlan
+from repro.faults.inject import FaultInjector
+from repro.streaming import (
+    AT_LEAST_ONCE,
+    DataBatch,
+    Dataflow,
+    EXACTLY_ONCE,
+    FilterOperator,
+    KeyedWindowAggregate,
+    SessionAggregate,
+    StreamRuntime,
+    TumblingWindow,
+)
+
+
+def make_batches(n=24, keys_per=6, interval=0.25):
+    """Deterministic keyed batches: every batch has keys_per unit events."""
+    out = []
+    for i in range(n):
+        keys = (np.arange(keys_per, dtype=np.int64) + i) % 5
+        out.append(DataBatch(
+            sequence=i, event_time=i * interval, keys=keys,
+            values=np.ones(keys_per, dtype=np.int64)))
+    return out
+
+
+def wordcount_flow(mode=EXACTLY_ONCE, **kwargs):
+    return Dataflow(
+        name="t-wordcount", batches=make_batches(),
+        operators=[KeyedWindowAggregate("wc", TumblingWindow(1.0))],
+        mode=mode, mean_interval=0.25, **kwargs)
+
+
+def run(flow, faults=None):
+    return StreamRuntime(faults=faults).run(flow)
+
+
+def fixed_seconds(result):
+    """Scale-independent overhead charged to the ledger (stalls,
+    restarts, checkpoint writes) -- the engine's modeled-time signal."""
+    return sum(p.fixed_seconds for p in result.cost.phases)
+
+
+class TestDataflowValidation:
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            wordcount_flow(mode="exactly-twice")
+
+    def test_needs_an_operator(self):
+        with pytest.raises(ValueError):
+            Dataflow(name="x", batches=[], operators=[])
+
+    def test_bad_checkpoint_interval_rejected(self):
+        with pytest.raises(ValueError):
+            wordcount_flow(checkpoint_interval=0)
+
+
+class TestFaultFreeRuns:
+    def test_every_event_lands_in_exactly_one_window(self):
+        result = run(wordcount_flow())
+        assert result.events == 24 * 6
+        assert result.duplicates == 0
+        assert result.windows == 6  # 24 batches x 0.25s in 1s windows
+
+    def test_modes_commit_identical_output_fault_free(self):
+        eo = run(wordcount_flow(mode=EXACTLY_ONCE))
+        alo = run(wordcount_flow(mode=AT_LEAST_ONCE))
+        assert eo.digest() == alo.digest()
+
+    def test_digest_is_deterministic_across_runs(self):
+        assert run(wordcount_flow()).digest() \
+            == run(wordcount_flow()).digest()
+
+    def test_digest_is_order_sensitive(self):
+        a = run(wordcount_flow())
+        b = run(wordcount_flow())
+        b.committed.reverse()
+        assert a.digest() != b.digest()
+
+    def test_pipeline_with_filter(self):
+        flow = Dataflow(
+            name="t-grep", batches=make_batches(),
+            operators=[
+                FilterOperator("f", lambda k: k == 0),
+                KeyedWindowAggregate("wc", TumblingWindow(1.0)),
+            ],
+            mean_interval=0.25)
+        result = run(flow)
+        expected = sum(int((b.keys == 0).sum()) for b in make_batches())
+        assert result.events == expected
+        assert all(e.keys.tolist() == [0] for e in result.committed)
+
+    def test_sessions_pipeline(self):
+        flow = Dataflow(
+            name="t-sessions", batches=make_batches(),
+            operators=[SessionAggregate("s", gap=0.6)],
+            mean_interval=0.25)
+        result = run(flow)
+        assert result.events == 24 * 6  # every event in exactly one session
+        assert result.duplicates == 0
+
+    def test_cost_and_counters_populated(self):
+        result = run(wordcount_flow())
+        assert result.counters["source_batches"] == 24
+        assert result.counters["checkpoints"] >= 1
+        assert result.counters["cycles"] > 0
+        assert result.cost.phases
+        assert fixed_seconds(result) > 0  # checkpoint writes are charged
+
+
+class TestCheckpointCadence:
+    def test_cadence_does_not_change_committed_output(self):
+        digests = {
+            run(wordcount_flow(checkpoint_interval=k)).digest()
+            for k in (1, 2, 8, 100)
+        }
+        assert len(digests) == 1
+
+    def test_tighter_cadence_writes_more_checkpoints(self):
+        tight = run(wordcount_flow(checkpoint_interval=2))
+        loose = run(wordcount_flow(checkpoint_interval=16))
+        assert tight.counters["checkpoints"] \
+            > loose.counters["checkpoints"]
+
+    def test_plan_flag_overrides_flow_cadence(self):
+        # A rule-free plan still configures checkpointing.
+        injector = FaultInjector(FaultPlan(rules=(), checkpoint_interval=3))
+        result = StreamRuntime(faults=injector).run(
+            wordcount_flow(checkpoint_interval=100))
+        # 24 batches / 3 = 8 mid-stream barriers + the final one.
+        assert result.counters["checkpoints"] == 9
+
+
+class TestBackpressure:
+    def test_tiny_channel_throttles_the_source(self):
+        throttled = run(wordcount_flow(capacity=1, source_burst=4))
+        assert throttled.counters["throttled_batches"] > 0
+
+    def test_throttling_never_changes_output(self):
+        wide = run(wordcount_flow(capacity=16))
+        narrow = run(wordcount_flow(capacity=1, source_burst=4))
+        assert wide.digest() == narrow.digest()
+
+    def test_throttling_costs_modeled_time(self):
+        wide = run(wordcount_flow(capacity=16))
+        narrow = run(wordcount_flow(capacity=1, source_burst=4))
+        assert fixed_seconds(narrow) > fixed_seconds(wide)
+
+    def test_slow_operator_stalls_upstream(self):
+        # The filter (budget 3) outruns the aggregate (budget 2), so the
+        # middle channel fills and the filter stalls mid-cycle.
+        flow = Dataflow(
+            name="t-stall", batches=make_batches(n=48),
+            operators=[
+                FilterOperator("f", lambda k: k >= 0),  # passes everything
+                KeyedWindowAggregate("wc", TumblingWindow(1.0)),
+            ],
+            capacity=3, source_burst=4, mean_interval=0.25)
+        result = run(flow)
+        assert result.counters["backpressure_stalls"] > 0
+        assert result.events == 48 * 6
+
+
+def injector(spec, seed=0):
+    return FaultInjector(FaultPlan.parse(spec), seed=seed)
+
+
+class TestEngineFaults:
+    def test_operator_crash_with_recovery_is_bit_identical(self):
+        clean = run(wordcount_flow())
+        chaos = run(wordcount_flow(),
+                    faults=injector("operator_crash:rate=0.2"))
+        assert chaos.counters["restores"] > 0
+        assert chaos.counters["replayed_batches"] > 0
+        assert chaos.digest() == clean.digest()
+
+    def test_operator_crash_without_recovery_loses_state(self):
+        clean = run(wordcount_flow())
+        chaos = run(wordcount_flow(), faults=FaultInjector(
+            FaultPlan.parse("operator_crash:rate=0.2", recovery=False)))
+        assert chaos.counters["restores"] == 0
+        assert chaos.digest() != clean.digest()
+        assert chaos.events < clean.events
+
+    def test_channel_drop_with_recovery_is_bit_identical(self):
+        clean = run(wordcount_flow())
+        chaos = run(wordcount_flow(),
+                    faults=injector("channel_drop:rate=0.5"))
+        assert chaos.counters["restores"] > 0
+        assert chaos.digest() == clean.digest()
+
+    def test_watermark_skew_defers_but_never_changes_output(self):
+        clean = run(wordcount_flow())
+        skewed = run(wordcount_flow(),
+                     faults=injector("watermark_skew:factor=4"))
+        assert skewed.counters["watermark_lag_s"] \
+            > clean.counters["watermark_lag_s"]
+        assert skewed.digest() == clean.digest()
+
+    def test_restore_charges_modeled_time(self):
+        clean = run(wordcount_flow())
+        chaos = run(wordcount_flow(),
+                    faults=injector("operator_crash:rate=0.2"))
+        assert fixed_seconds(chaos) > fixed_seconds(clean)
+
+    def test_hostile_rate_cannot_livelock(self):
+        # rate=1.0 would restart forever without the MAX_RESTARTS bound.
+        chaos = run(wordcount_flow(),
+                    faults=injector("operator_crash:rate=1.0"))
+        assert chaos.digest() == run(wordcount_flow()).digest()
+
+    def test_at_least_once_replay_emits_duplicates(self):
+        # A crash *after* windows have committed, restoring to a barrier
+        # *before* the batches that filled them: replay must visibly
+        # re-commit those windows.  (The wide ckpt flag makes the
+        # restore rewind past the committed windows; a tight cadence
+        # would leave nothing to re-fire.)
+        spec = "operator_crash:at=12 [ckpt=24]"
+        chaos = run(wordcount_flow(mode=AT_LEAST_ONCE),
+                    faults=injector(spec))
+        assert chaos.counters["restores"] == 1
+        assert chaos.duplicates > 0
+        # The same crash under a transactional sink stays clean.
+        eo = run(wordcount_flow(), faults=injector(spec))
+        assert eo.duplicates == 0
+        assert eo.digest() == run(wordcount_flow()).digest()
+
+    def test_fault_schedule_is_seed_deterministic(self):
+        runs = [run(wordcount_flow(),
+                    faults=injector("operator_crash:rate=0.2", seed=3))
+                for _ in range(2)]
+        assert runs[0].counters == runs[1].counters
+        assert runs[0].digest() == runs[1].digest()
